@@ -1,0 +1,98 @@
+"""Ablation study: partitioning schemes for the local skyline stage.
+
+The paper keeps Spark's default (even) distribution and lists grid- and
+angle-based partitioning [25, 42] as future work (Section 7).  This
+bench compares the three schemes (plus grid-cell dominance pruning [41])
+on the canonical distributions, reporting the quantity that matters for
+the distributed pipeline: how many tuples survive the local stage (the
+non-parallelizable global stage's input) and the dominance checks spent.
+"""
+
+import pytest
+
+from helpers import record, scaled
+from repro.bench.reporting import _render_rows
+from repro.core import (DominanceStats, bnl_skyline, make_dimensions,
+                        partition_rows)
+from repro.datasets import (anticorrelated_rows, correlated_rows,
+                            independent_rows)
+
+ROWS = scaled(4000)
+DIMENSIONS = 3
+PARTITIONS = 8
+SCHEMES = ("random", "grid", "angle")
+DISTRIBUTIONS = {
+    "independent": independent_rows,
+    "correlated": correlated_rows,
+    "anticorrelated": anticorrelated_rows,
+}
+DIMS = make_dimensions([(i, "min") for i in range(DIMENSIONS)])
+
+
+def run_scheme(rows, scheme: str):
+    """Local skylines under one scheme; returns metrics + final result."""
+    partitions = partition_rows(rows, DIMS, scheme, PARTITIONS,
+                                prune_cells=(scheme == "grid"))
+    stats = DominanceStats()
+    local_union = []
+    for partition in partitions:
+        local_union.extend(bnl_skyline(partition, DIMS, stats=stats))
+    final = bnl_skyline(local_union, DIMS, stats=stats)
+    return {
+        "local_survivors": len(local_union),
+        "comparisons": stats.comparisons,
+        "skyline": sorted(final),
+    }
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    table = {name: {scheme: run_scheme(generator(ROWS, DIMENSIONS,
+                                                 seed=29), scheme)
+                    for scheme in SCHEMES}
+             for name, generator in DISTRIBUTIONS.items()}
+    rows = []
+    for scheme in SCHEMES:
+        rows.append((f"{scheme}: global-stage input", [
+            str(table[d][scheme]["local_survivors"])
+            for d in DISTRIBUTIONS]))
+    for scheme in SCHEMES:
+        rows.append((f"{scheme}: dominance checks", [
+            str(table[d][scheme]["comparisons"])
+            for d in DISTRIBUTIONS]))
+    record("ablation_partitioning", _render_rows(
+        f"Ablation: partitioning schemes, {ROWS} tuples x "
+        f"{DIMENSIONS} dims, {PARTITIONS} partitions",
+        "metric", list(DISTRIBUTIONS), rows))
+    return table
+
+
+def test_all_schemes_compute_the_same_skyline(ablation):
+    for distribution, by_scheme in ablation.items():
+        skylines = {tuple(map(tuple, data["skyline"]))
+                    for data in by_scheme.values()}
+        assert len(skylines) == 1, distribution
+
+
+def test_grid_pruning_shrinks_global_input_on_independent_data(ablation):
+    independent = ablation["independent"]
+    assert independent["grid"]["local_survivors"] <= \
+        independent["random"]["local_survivors"]
+
+
+def test_angle_partitioning_balances_anticorrelated_data(ablation):
+    # On anti-correlated data the skyline is huge; no scheme can shrink
+    # the global input below the skyline itself, but angle partitioning
+    # must not be *worse* than random by more than a small margin.
+    anti = ablation["anticorrelated"]
+    assert anti["angle"]["local_survivors"] <= \
+        1.2 * anti["random"]["local_survivors"]
+
+
+def test_benchmark_grid_scheme(benchmark, ablation):
+    rows = independent_rows(ROWS, DIMENSIONS, seed=29)
+
+    def run():
+        return run_scheme(rows, "grid")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Figure 10: number of input tuples vs peak memory consumption on
+store_sales (6 dimensions; one grid per executor count 3/5/10).
+
+Paper shape: memory grows with the number of tuples; the distributed
+complete algorithm (whose BNL window adds residency) is the heaviest,
+but all algorithms stay within a comparable band.
+"""
+
+import pytest
+
+from helpers import (assert_memory_comparable, bench_representative,
+                     record, scaled)
+from repro.bench import (ALGORITHMS_COMPLETE, format_memory_table,
+                         tuples_sweep)
+from repro.core.algorithms import Algorithm
+from repro.datasets import store_sales_workload
+
+SIZES = [scaled(1000), scaled(2000), scaled(4000)]
+DIMENSIONS = 6
+EXECUTOR_GRIDS = (3, 5, 10)
+
+
+@pytest.fixture(scope="module", params=EXECUTOR_GRIDS)
+def grid(request):
+    executors = request.param
+    results = tuples_sweep(
+        lambda n: store_sales_workload(n), SIZES, ALGORITHMS_COMPLETE,
+        DIMENSIONS, executors)
+    record(f"fig10_memory_tuples_{executors}executors",
+           format_memory_table(
+               f"Fig 10: store_sales complete, tuples vs memory "
+               f"({executors} executors)", "tuples", SIZES, results))
+    return executors, results
+
+
+def test_memory_grows_with_tuples(grid):
+    _, results = grid
+    cells = results[Algorithm.DISTRIBUTED_COMPLETE]
+    assert cells[-1].peak_memory_mb > cells[0].peak_memory_mb
+
+
+def test_memory_comparable(grid):
+    _, results = grid
+    assert_memory_comparable(results)
+
+
+def test_benchmark_memory_run(benchmark, grid):
+    bench_representative(benchmark, store_sales_workload(SIZES[-1]),
+                         Algorithm.DISTRIBUTED_COMPLETE, DIMENSIONS, 3)

@@ -1,0 +1,62 @@
+"""Figure 11: number of dimensions vs execution time on Inside Airbnb,
+one grid per executor count (2, 3, 5, 10); complete and incomplete.
+
+Paper shape: the same picture as Figure 3 at every executor count --
+specialized algorithms below the reference, cost growing with the
+dimension count.
+"""
+
+import pytest
+
+from helpers import (assert_reference_is_slowest_overall,
+                     bench_representative, record, scaled)
+from repro.bench import (ALGORITHMS_COMPLETE, ALGORITHMS_INCOMPLETE,
+                         dimensions_sweep, render_sweep)
+from repro.core.algorithms import Algorithm
+from repro.datasets import airbnb_workload
+
+DIMS = list(range(1, 7))
+EXECUTOR_GRIDS = (2, 3, 5, 10)
+RAW_ROWS = scaled(1600)
+
+
+@pytest.fixture(scope="module", params=EXECUTOR_GRIDS)
+def complete_grid(request):
+    executors = request.param
+    workload = airbnb_workload(RAW_ROWS)
+    results = dimensions_sweep(workload, ALGORITHMS_COMPLETE, executors,
+                               dimension_values=DIMS)
+    record(f"fig11_airbnb_complete_{executors}executors", render_sweep(
+        f"Fig 11: airbnb complete, dims vs time ({executors} executors)",
+        "dimensions", DIMS, results))
+    return results
+
+
+@pytest.fixture(scope="module")
+def incomplete_grid():
+    workload = airbnb_workload(RAW_ROWS, incomplete=True)
+    results = dimensions_sweep(workload, ALGORITHMS_INCOMPLETE, 3,
+                               dimension_values=DIMS)
+    record("fig11_airbnb_incomplete_3executors", render_sweep(
+        "Fig 11: airbnb incomplete, dims vs time (3 executors)",
+        "dimensions", DIMS, results))
+    return results
+
+
+def test_specialized_beat_reference_at_every_executor_count(
+        complete_grid):
+    assert_reference_is_slowest_overall(complete_grid, tolerance=1.1)
+
+
+def test_reference_grows_with_dimensions(complete_grid):
+    cells = complete_grid[Algorithm.REFERENCE]
+    assert cells[-1].simulated_time_s > cells[0].simulated_time_s
+
+
+def test_incomplete_beats_reference(incomplete_grid):
+    assert_reference_is_slowest_overall(incomplete_grid, tolerance=1.1)
+
+
+def test_benchmark_representative(benchmark, complete_grid, incomplete_grid):
+    bench_representative(benchmark, airbnb_workload(RAW_ROWS),
+                         Algorithm.DISTRIBUTED_COMPLETE, 6, 3)

@@ -1,0 +1,72 @@
+"""Figure 12: number of dimensions vs execution time on store_sales
+(5M tuples in the paper, scaled here), one grid per executor count.
+
+Paper shape: the two opposing dimensionality effects are clearly
+visible on the reference curve (expensive at 1 dimension, dip to 2-3,
+rise again to 6); specialized algorithms stay below the reference; the
+incomplete variant suffers reference timeouts.
+"""
+
+import pytest
+
+from helpers import (assert_no_specialized_timeouts,
+                     assert_reference_is_slowest_overall,
+                     bench_representative, record, scaled)
+from repro.bench import (ALGORITHMS_COMPLETE, ALGORITHMS_INCOMPLETE,
+                         dimensions_sweep, render_sweep)
+from repro.core.algorithms import Algorithm
+from repro.datasets import store_sales_workload
+
+DIMS = list(range(1, 7))
+EXECUTOR_GRIDS = (2, 5)
+ROWS = scaled(3000)
+SIMULATED_TIMEOUT_S = 2.5
+
+
+@pytest.fixture(scope="module", params=EXECUTOR_GRIDS)
+def complete_grid(request):
+    executors = request.param
+    workload = store_sales_workload(ROWS)
+    results = dimensions_sweep(workload, ALGORITHMS_COMPLETE, executors,
+                               dimension_values=DIMS,
+                               simulated_timeout_s=SIMULATED_TIMEOUT_S)
+    record(f"fig12_store_sales_complete_{executors}executors",
+           render_sweep(
+               f"Fig 12: store_sales complete, dims vs time "
+               f"({ROWS} tuples, {executors} executors)",
+               "dimensions", DIMS, results))
+    return results
+
+
+@pytest.fixture(scope="module")
+def incomplete_grid():
+    workload = store_sales_workload(ROWS, incomplete=True)
+    results = dimensions_sweep(workload, ALGORITHMS_INCOMPLETE, 5,
+                               dimension_values=DIMS,
+                               simulated_timeout_s=SIMULATED_TIMEOUT_S)
+    record("fig12_store_sales_incomplete_5executors", render_sweep(
+        f"Fig 12: store_sales incomplete, dims vs time "
+        f"({ROWS} tuples, 5 executors)", "dimensions", DIMS, results))
+    return results
+
+
+def test_specialized_beat_reference(complete_grid):
+    assert_reference_is_slowest_overall(complete_grid, tolerance=1.1)
+    assert_no_specialized_timeouts(complete_grid)
+
+
+def test_dimensionality_dip_on_reference(complete_grid):
+    cells = complete_grid[Algorithm.REFERENCE]
+    finished = [c.simulated_time_s for c in cells if not c.timed_out]
+    if len(finished) >= 3:
+        # 1-dim more expensive than the cheapest middle dimension.
+        assert finished[0] > min(finished[1:4])
+
+
+def test_incomplete_no_specialized_timeouts(incomplete_grid):
+    assert_no_specialized_timeouts(incomplete_grid)
+
+
+def test_benchmark_representative(benchmark, complete_grid, incomplete_grid):
+    bench_representative(benchmark, store_sales_workload(ROWS),
+                         Algorithm.NON_DISTRIBUTED_COMPLETE, 6, 5)

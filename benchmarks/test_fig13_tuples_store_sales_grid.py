@@ -1,0 +1,59 @@
+"""Figure 13: number of input tuples vs execution time on store_sales,
+one grid per executor count (2, 3, 5, 10).
+
+Paper shape: only with 5-10 executors does the reference cope with the
+largest dataset; the distributed complete algorithm performs best in
+all complete-data grids.
+"""
+
+import pytest
+
+from helpers import (assert_no_specialized_timeouts,
+                     assert_reference_is_slowest_overall,
+                     bench_representative, record, scaled)
+from repro.bench import (ALGORITHMS_COMPLETE, render_sweep, tuples_sweep)
+from repro.core.algorithms import Algorithm
+from repro.datasets import store_sales_workload
+
+SIZES = [scaled(1000), scaled(2000), scaled(5000)]
+DIMENSIONS = 6
+EXECUTOR_GRIDS = (2, 10)
+SIMULATED_TIMEOUT_S = 0.8
+
+
+@pytest.fixture(scope="module", params=EXECUTOR_GRIDS)
+def grid(request):
+    executors = request.param
+    results = tuples_sweep(
+        lambda n: store_sales_workload(n), SIZES, ALGORITHMS_COMPLETE,
+        DIMENSIONS, executors, simulated_timeout_s=SIMULATED_TIMEOUT_S)
+    record(f"fig13_store_sales_tuples_{executors}executors",
+           render_sweep(
+               f"Fig 13: store_sales complete, tuples vs time "
+               f"({executors} executors)", "tuples", SIZES, results))
+    return executors, results
+
+
+def test_no_specialized_timeouts(grid):
+    _, results = grid
+    assert_no_specialized_timeouts(results)
+
+
+def test_specialized_beat_reference(grid):
+    _, results = grid
+    assert_reference_is_slowest_overall(results, tolerance=1.05)
+
+
+def test_more_executors_help_reference_cope(grid):
+    executors, results = grid
+    reference = results[Algorithm.REFERENCE]
+    timeouts = sum(1 for c in reference if c.timed_out)
+    if executors >= 10:
+        assert timeouts <= 1
+    # With few executors the largest size is at risk -- but never the
+    # other way around (checked via assert_no_specialized_timeouts).
+
+
+def test_benchmark_representative(benchmark, grid):
+    bench_representative(benchmark, store_sales_workload(SIZES[-1]),
+                         Algorithm.DISTRIBUTED_COMPLETE, DIMENSIONS, 10)

@@ -1,0 +1,64 @@
+"""Figure 14: number of executors vs execution time on Inside Airbnb,
+one grid per dimension count (3, 4, 5, 6).
+
+Paper shape: the distributed complete algorithm "hardly profits from
+additional executors" on this small dataset, yet the reference never
+outperforms any specialized algorithm.
+"""
+
+import pytest
+
+from helpers import (assert_reference_is_slowest_overall,
+                     bench_representative, record, scaled)
+from repro.bench import (ALGORITHMS_COMPLETE, ALGORITHMS_INCOMPLETE,
+                         executors_sweep, render_sweep)
+from repro.core.algorithms import Algorithm
+from repro.datasets import airbnb_workload
+
+EXECUTOR_VALUES = [1, 2, 3, 5, 10]
+DIMENSION_GRIDS = (3, 6)
+RAW_ROWS = scaled(1600)
+
+
+@pytest.fixture(scope="module", params=DIMENSION_GRIDS)
+def complete_grid(request):
+    dims = request.param
+    workload = airbnb_workload(RAW_ROWS)
+    results = executors_sweep(workload, ALGORITHMS_COMPLETE, dims,
+                              executor_values=EXECUTOR_VALUES)
+    record(f"fig14_airbnb_complete_{dims}dims", render_sweep(
+        f"Fig 14: airbnb complete, executors vs time ({dims} dims)",
+        "executors", EXECUTOR_VALUES, results))
+    return dims, results
+
+
+@pytest.fixture(scope="module")
+def incomplete_grid():
+    workload = airbnb_workload(RAW_ROWS, incomplete=True)
+    results = executors_sweep(workload, ALGORITHMS_INCOMPLETE, 4,
+                              executor_values=EXECUTOR_VALUES)
+    record("fig14_airbnb_incomplete_4dims", render_sweep(
+        "Fig 14: airbnb incomplete, executors vs time (4 dims)",
+        "executors", EXECUTOR_VALUES, results))
+    return results
+
+
+def test_specialized_beat_reference(complete_grid):
+    _, results = complete_grid
+    assert_reference_is_slowest_overall(results, tolerance=1.1)
+
+
+def test_distributed_complete_flat_on_small_data(complete_grid):
+    _, results = complete_grid
+    times = [c.simulated_time_s
+             for c in results[Algorithm.DISTRIBUTED_COMPLETE]]
+    assert max(times) < 4 * min(times)
+
+
+def test_incomplete_beats_reference(incomplete_grid):
+    assert_reference_is_slowest_overall(incomplete_grid, tolerance=1.1)
+
+
+def test_benchmark_representative(benchmark, complete_grid, incomplete_grid):
+    bench_representative(benchmark, airbnb_workload(RAW_ROWS),
+                         Algorithm.DISTRIBUTED_COMPLETE, 4, 5)

@@ -1,0 +1,77 @@
+"""Figure 3 / Tables 3-4: number of dimensions vs execution time on the
+Inside Airbnb dataset (complete left, incomplete right; 5 executors).
+
+Paper shape: execution time grows with the dimension count, most steeply
+for the reference algorithm; every specialized algorithm beats the
+reference (Table 3: 46-97% of reference; Table 4: 35-88%).
+"""
+
+import pytest
+
+from helpers import (assert_memory_comparable,
+                     assert_no_specialized_timeouts,
+                     assert_reference_is_slowest_overall,
+                     bench_representative, record, scaled)
+from repro.bench import (ALGORITHMS_COMPLETE, ALGORITHMS_INCOMPLETE,
+                         dimensions_sweep, render_sweep)
+from repro.core.algorithms import Algorithm
+from repro.datasets import airbnb_workload
+
+DIMS = list(range(1, 7))
+EXECUTORS = 5
+RAW_ROWS = scaled(2500)
+
+
+@pytest.fixture(scope="module")
+def complete_results():
+    workload = airbnb_workload(RAW_ROWS)
+    results = dimensions_sweep(workload, ALGORITHMS_COMPLETE, EXECUTORS,
+                               dimension_values=DIMS)
+    record("fig3_tables3_airbnb_complete", render_sweep(
+        f"Fig 3 left / Table 3: airbnb complete "
+        f"({workload.num_rows} tuples, {EXECUTORS} executors)",
+        "dimensions", DIMS, results))
+    return results
+
+
+@pytest.fixture(scope="module")
+def incomplete_results():
+    workload = airbnb_workload(RAW_ROWS, incomplete=True)
+    results = dimensions_sweep(workload, ALGORITHMS_INCOMPLETE, EXECUTORS,
+                               dimension_values=DIMS)
+    record("fig3_tables4_airbnb_incomplete", render_sweep(
+        f"Fig 3 right / Table 4: airbnb incomplete "
+        f"({workload.num_rows} tuples, {EXECUTORS} executors)",
+        "dimensions", DIMS, results))
+    return results
+
+
+def test_specialized_beat_reference_on_complete_data(complete_results):
+    assert_reference_is_slowest_overall(complete_results, tolerance=1.05)
+    assert_no_specialized_timeouts(complete_results)
+
+
+def test_memory_comparable_across_algorithms(complete_results):
+    assert_memory_comparable(complete_results)
+
+
+def test_reference_time_grows_with_dimensions(complete_results):
+    cells = complete_results[Algorithm.REFERENCE]
+    assert cells[-1].simulated_time_s > cells[0].simulated_time_s
+
+
+def test_incomplete_algorithm_beats_reference(incomplete_results):
+    assert_reference_is_slowest_overall(incomplete_results,
+                                        tolerance=1.05)
+
+
+def test_results_agree_between_algorithms(complete_results):
+    for dims_index in range(len(DIMS)):
+        sizes = {a: cells[dims_index].result_rows
+                 for a, cells in complete_results.items()}
+        assert len(set(sizes.values())) == 1, sizes
+
+
+def test_benchmark_distributed_complete_6d(benchmark, complete_results, incomplete_results):
+    bench_representative(benchmark, airbnb_workload(RAW_ROWS),
+                         Algorithm.DISTRIBUTED_COMPLETE, 6, EXECUTORS)

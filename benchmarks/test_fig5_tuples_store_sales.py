@@ -1,0 +1,80 @@
+"""Figure 5 / Tables 7-8: number of input tuples vs execution time on
+store_sales (6 dimensions, 3 executors).
+
+Paper shape: every algorithm grows with the input size; the reference
+grows fastest and times out at the largest size (10^7 tuples -> here the
+largest scaled size under a simulated-time budget), while the
+distributed complete algorithm stays cheapest throughout.
+"""
+
+import pytest
+
+from helpers import (assert_no_specialized_timeouts,
+                     assert_reference_is_slowest_overall,
+                     bench_representative, record, scaled)
+from repro.bench import (ALGORITHMS_COMPLETE, ALGORITHMS_INCOMPLETE,
+                         render_sweep, tuples_sweep)
+from repro.core.algorithms import Algorithm
+from repro.datasets import store_sales_workload
+
+SIZES = [scaled(1000), scaled(2000), scaled(5000), scaled(10000)]
+DIMENSIONS = 6
+EXECUTORS = 3
+#: Simulated-time budget inducing the paper's timeout at the top size.
+SIMULATED_TIMEOUT_S = 1.2
+
+
+@pytest.fixture(scope="module")
+def complete_results():
+    results = tuples_sweep(
+        lambda n: store_sales_workload(n), SIZES, ALGORITHMS_COMPLETE,
+        DIMENSIONS, EXECUTORS, simulated_timeout_s=SIMULATED_TIMEOUT_S)
+    record("fig5_tables7_store_sales_complete", render_sweep(
+        f"Fig 5 left / Table 7: store_sales complete "
+        f"({DIMENSIONS} dims, {EXECUTORS} executors)",
+        "tuples", SIZES, results))
+    return results
+
+
+@pytest.fixture(scope="module")
+def incomplete_results():
+    results = tuples_sweep(
+        lambda n: store_sales_workload(n, incomplete=True), SIZES,
+        ALGORITHMS_INCOMPLETE, DIMENSIONS, EXECUTORS,
+        simulated_timeout_s=SIMULATED_TIMEOUT_S)
+    record("fig5_tables8_store_sales_incomplete", render_sweep(
+        f"Fig 5 right / Table 8: store_sales incomplete "
+        f"({DIMENSIONS} dims, {EXECUTORS} executors)",
+        "tuples", SIZES, results))
+    return results
+
+
+def test_specialized_beat_reference(complete_results):
+    assert_reference_is_slowest_overall(complete_results)
+    assert_no_specialized_timeouts(complete_results)
+
+
+def test_reference_times_out_at_largest_size(complete_results):
+    assert complete_results[Algorithm.REFERENCE][-1].timed_out
+
+
+def test_distributed_complete_survives_largest_size(complete_results):
+    assert not complete_results[
+        Algorithm.DISTRIBUTED_COMPLETE][-1].timed_out
+
+
+def test_time_grows_with_size(complete_results):
+    for cells in complete_results.values():
+        ok = [c.simulated_time_s for c in cells if not c.timed_out]
+        assert ok == sorted(ok) or ok[-1] > ok[0]
+
+
+def test_incomplete_specialized_beats_reference(incomplete_results):
+    assert_reference_is_slowest_overall(incomplete_results,
+                                        tolerance=1.15)
+
+
+def test_benchmark_distributed_complete_largest(benchmark, complete_results, incomplete_results):
+    bench_representative(benchmark, store_sales_workload(SIZES[-1]),
+                         Algorithm.DISTRIBUTED_COMPLETE, DIMENSIONS,
+                         EXECUTORS)

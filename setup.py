@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e .`` in offline environments whose setuptools
+lacks PEP-517 editable-wheel support; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

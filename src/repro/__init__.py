@@ -1,0 +1,82 @@
+"""repro: Integration of Skyline Queries into Spark SQL (EDBT 2023).
+
+A pure-Python reproduction of Grasmann, Pichler & Selzer's skyline
+integration: a Spark-SQL-like engine (parser, analyzer, Catalyst-style
+optimizer, physical planner, simulated distributed execution) with the
+skyline operator integrated into every pipeline stage, plus the
+standalone skyline algorithm library, dataset generators, and the full
+benchmark harness regenerating the paper's tables and figures.
+
+Quickstart::
+
+    from repro import SkylineSession, smin, smax
+
+    session = SkylineSession(num_executors=4)
+    session.create_table(
+        "hotels",
+        [("name", STRING), ("price", DOUBLE), ("rating", DOUBLE)],
+        [("A", 120.0, 4.5), ("B", 90.0, 4.0), ("C", 150.0, 3.0)])
+
+    # SQL with the extended syntax (Listing 2 of the paper):
+    best = session.sql(
+        "SELECT name, price, rating FROM hotels "
+        "SKYLINE OF price MIN, rating MAX").collect()
+
+    # Or the DataFrame API (Section 5.8):
+    best = session.table("hotels").skyline(
+        smin("price"), smax("rating")).collect()
+"""
+
+from .api import DataFrame, GroupedData, QueryResult, SkylineSession
+from .core import (Algorithm, BoundDimension, DimensionKind, DominanceStats,
+                   bnl_skyline, dominates, dominates_incomplete, skyline)
+from .engine import (BOOLEAN, DOUBLE, INTEGER, STRING, ClusterConfig, Field,
+                     ForeignKey, Row, Schema)
+from .engine.functions import (avg, coalesce, col, count, ifnull, lit,
+                               sdiff, smax, smin, sql_max, sql_min, sql_sum)
+from .errors import (AnalysisError, BenchmarkTimeout, ExecutionError,
+                     ParseError, PlanningError, ReproError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "AnalysisError",
+    "BenchmarkTimeout",
+    "BOOLEAN",
+    "BoundDimension",
+    "ClusterConfig",
+    "DOUBLE",
+    "DataFrame",
+    "DimensionKind",
+    "DominanceStats",
+    "ExecutionError",
+    "Field",
+    "ForeignKey",
+    "GroupedData",
+    "INTEGER",
+    "ParseError",
+    "PlanningError",
+    "QueryResult",
+    "ReproError",
+    "Row",
+    "STRING",
+    "Schema",
+    "SkylineSession",
+    "avg",
+    "bnl_skyline",
+    "coalesce",
+    "col",
+    "count",
+    "dominates",
+    "dominates_incomplete",
+    "ifnull",
+    "lit",
+    "sdiff",
+    "skyline",
+    "smax",
+    "smin",
+    "sql_max",
+    "sql_min",
+    "sql_sum",
+]

@@ -1,0 +1,6 @@
+"""User-facing API: session entry point and DataFrame."""
+
+from .dataframe import DataFrame, GroupedData
+from .session import QueryResult, SkylineSession
+
+__all__ = ["DataFrame", "GroupedData", "QueryResult", "SkylineSession"]

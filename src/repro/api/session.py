@@ -1,0 +1,211 @@
+"""The session: configuration, catalog, and the SQL entry point.
+
+:class:`SkylineSession` plays the role of ``SparkSession``: it owns the
+catalog, the cluster configuration (number of executors, Section 6.1's
+main tuning knob) and the query pipeline (parser -> analyzer -> optimizer
+-> planner -> execution, Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Sequence
+
+from ..engine import expressions as E
+from ..engine.catalog import Catalog, ForeignKey, Table
+from ..engine.cluster import ClusterConfig, ExecutionContext
+from ..engine.row import Field, Row, Schema, infer_schema
+from ..errors import AnalysisError
+from ..plan.analyzer import Analyzer
+from ..plan.logical import LocalRelation, LogicalPlan, tree_string
+from ..plan.optimizer import Optimizer
+from ..plan.physical import physical_tree_string
+from ..plan.planner import SKYLINE_STRATEGIES, Planner
+from ..sql.parser import parse_query
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the execution metrics the benchmarks consume."""
+
+    rows: list[Row]
+    schema: Schema
+    context: ExecutionContext
+
+    @property
+    def simulated_time_s(self) -> float:
+        return self.context.simulated_time_s()
+
+    @property
+    def peak_memory_mb(self) -> float:
+        return self.context.peak_memory_mb()
+
+    def as_tuples(self) -> list[tuple]:
+        return [row.as_tuple() for row in self.rows]
+
+
+class SkylineSession:
+    """Entry point for SQL and DataFrame queries with skyline support.
+
+    Parameters
+    ----------
+    num_executors:
+        Simulated executor count (the paper's ``--num-executors``).
+    skyline_algorithm:
+        ``auto`` (Listing 8 selection), or an override forcing one of
+        ``distributed-complete``, ``non-distributed-complete``,
+        ``distributed-incomplete``, ``sfs``.
+    enable_skyline_optimizations:
+        Toggles the Section 5.4 optimizer rules (single-dimension rewrite
+        and skyline-through-join pushdown); on by default.
+    cluster_config:
+        Full cluster model override; ``num_executors`` wins if both given.
+    """
+
+    def __init__(self, num_executors: int = 2,
+                 skyline_algorithm: str = "auto",
+                 enable_skyline_optimizations: bool = True,
+                 cluster_config: ClusterConfig | None = None) -> None:
+        if skyline_algorithm not in SKYLINE_STRATEGIES:
+            raise ValueError(
+                f"unknown skyline_algorithm {skyline_algorithm!r}; expected "
+                f"one of {SKYLINE_STRATEGIES}")
+        base = cluster_config or ClusterConfig()
+        self.cluster_config = replace(base, num_executors=num_executors)
+        self.skyline_algorithm = skyline_algorithm
+        self.enable_skyline_optimizations = enable_skyline_optimizations
+        self.catalog = Catalog()
+        self._time_budget_s: float | None = None
+
+    # -- configuration ------------------------------------------------------
+
+    def with_executors(self, num_executors: int) -> "SkylineSession":
+        """A session sharing this catalog but with a different executor
+        count (cheap: catalogs are shared by reference)."""
+        clone = SkylineSession(
+            num_executors=num_executors,
+            skyline_algorithm=self.skyline_algorithm,
+            enable_skyline_optimizations=self.enable_skyline_optimizations,
+            cluster_config=self.cluster_config)
+        clone.catalog = self.catalog
+        clone._time_budget_s = self._time_budget_s
+        return clone
+
+    def with_skyline_algorithm(self, algorithm: str) -> "SkylineSession":
+        clone = self.with_executors(self.cluster_config.num_executors)
+        if algorithm not in SKYLINE_STRATEGIES:
+            raise ValueError(f"unknown skyline_algorithm {algorithm!r}")
+        clone.skyline_algorithm = algorithm
+        return clone
+
+    def set_time_budget(self, seconds: float | None) -> None:
+        """Per-query wall-clock budget; queries raise
+        :class:`~repro.errors.BenchmarkTimeout` beyond it."""
+        self._time_budget_s = seconds
+
+    # -- catalog management ----------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: "Schema | Sequence",
+                     rows: Iterable[tuple],
+                     primary_key: Sequence[str] = (),
+                     foreign_keys: Iterable[ForeignKey] = (),
+                     unique_keys: Iterable[Sequence[str]] = ()) -> Table:
+        """Register a table.
+
+        ``columns`` is either a :class:`Schema` or a sequence of
+        ``(name, dtype, nullable)`` / ``(name, dtype)`` tuples.
+        """
+        schema = columns if isinstance(columns, Schema) else Schema(
+            [self._to_field(c) for c in columns])
+        return self.catalog.create_table(
+            name, schema, rows, primary_key=primary_key,
+            foreign_keys=foreign_keys, unique_keys=unique_keys)
+
+    @staticmethod
+    def _to_field(column: Any) -> Field:
+        if isinstance(column, Field):
+            return column
+        if len(column) == 2:
+            name, dtype = column
+            return Field(name, dtype, True)
+        name, dtype, nullable = column
+        return Field(name, dtype, nullable)
+
+    def create_dataframe(self, rows: Sequence[tuple],
+                         columns: "Schema | Sequence[str]") -> "DataFrame":
+        """An in-memory DataFrame (no catalog registration).
+
+        ``columns`` is a Schema or a list of names (types inferred).
+        """
+        from .dataframe import DataFrame
+        schema = columns if isinstance(columns, Schema) else infer_schema(
+            list(columns), list(rows))
+        output = [E.AttributeReference(f.name, f.dtype, f.nullable)
+                  for f in schema]
+        return DataFrame(LocalRelation(output, list(rows)), self)
+
+    def read_csv(self, path, schema: "Schema | None" = None,
+                 header: bool = True, delimiter: str = ",",
+                 table_name: str | None = None) -> "DataFrame":
+        """Load a CSV file into a DataFrame.
+
+        With ``table_name`` the data is also registered in the catalog,
+        making it queryable via :meth:`sql`.
+        """
+        from ..engine.io import read_csv
+        loaded_schema, rows = read_csv(path, schema=schema, header=header,
+                                       delimiter=delimiter)
+        if table_name is not None:
+            self.create_table(table_name, loaded_schema, rows)
+            return self.table(table_name)
+        return self.create_dataframe(rows, loaded_schema)
+
+    def table(self, name: str) -> "DataFrame":
+        from ..plan.logical import SubqueryAlias, UnresolvedRelation
+        from .dataframe import DataFrame
+        self.catalog.lookup(name)  # fail fast on unknown tables
+        return DataFrame(SubqueryAlias(name, UnresolvedRelation(name)), self)
+
+    # -- the pipeline -------------------------------------------------------------
+
+    def sql(self, query: str) -> "DataFrame":
+        """Parse a SQL query (skyline syntax included) into a DataFrame."""
+        from .dataframe import DataFrame
+        return DataFrame(parse_query(query), self)
+
+    def analyze(self, plan: LogicalPlan) -> LogicalPlan:
+        return Analyzer(self.catalog).analyze(plan)
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        optimizer = Optimizer(
+            self.catalog,
+            enable_skyline_rules=self.enable_skyline_optimizations)
+        return optimizer.optimize(plan)
+
+    def execute(self, plan: LogicalPlan) -> QueryResult:
+        """Run the full pipeline on a logical plan."""
+        analyzed = self.analyze(plan)
+        optimized = self.optimize(analyzed)
+        physical = Planner(self.skyline_algorithm).plan(optimized)
+        ctx = ExecutionContext(self.cluster_config)
+        ctx.set_budget(self._time_budget_s)
+        rdd = physical.execute(ctx)
+        schema = Schema([Field(a.name, a.dtype, a.nullable)
+                         for a in physical.output])
+        rows = [Row(values, schema) for values in rdd.collect()]
+        return QueryResult(rows=rows, schema=schema, context=ctx)
+
+    def explain(self, plan: LogicalPlan) -> str:
+        """Analyzed, optimized and physical plans as a printable string."""
+        analyzed = self.analyze(plan)
+        optimized = self.optimize(analyzed)
+        physical = Planner(self.skyline_algorithm).plan(optimized)
+        return "\n".join([
+            "== Analyzed Logical Plan ==",
+            tree_string(analyzed),
+            "== Optimized Logical Plan ==",
+            tree_string(optimized),
+            "== Physical Plan ==",
+            physical_tree_string(physical),
+        ])

@@ -1,0 +1,128 @@
+"""Block-Nested-Loop skyline algorithm (Section 5.6 of the paper).
+
+The algorithm keeps a *window* of tuples holding the skyline of everything
+processed so far.  For each incoming tuple ``t``:
+
+* if a window tuple dominates ``t``, drop ``t`` (by transitivity ``t``
+  cannot dominate anything in the window);
+* otherwise remove every window tuple dominated by ``t`` and insert ``t``.
+
+The same routine serves for both the local skyline (per partition) and
+the global skyline (single partition via the ``AllTuples`` distribution);
+only the data distribution differs.
+
+Correctness requires transitive dominance, i.e. complete data.  For
+incomplete data the window trick is only safe *within* a null-bitmap
+partition -- see :mod:`repro.core.incomplete`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from .dominance import (BoundDimension, DominanceStats, dominates,
+                        equal_on_dimensions)
+
+
+def bnl_skyline(rows: Iterable[Sequence], dims: Sequence[BoundDimension],
+                distinct: bool = False,
+                stats: DominanceStats | None = None,
+                dominance: Callable = dominates,
+                check_deadline: Callable[[], None] | None = None
+                ) -> list[Sequence]:
+    """Skyline of ``rows`` via Block-Nested-Loop.
+
+    Parameters
+    ----------
+    rows:
+        Input tuples.
+    dims:
+        Skyline dimensions bound to tuple ordinals.
+    distinct:
+        If True, implement ``SKYLINE OF DISTINCT``: of several tuples with
+        identical values in all skyline dimensions only the first is kept.
+    stats:
+        Optional counter sink for dominance tests and window peaks.
+    dominance:
+        The dominance test; must be transitive over the supplied rows
+        (the default :func:`dominates` assumes complete data).
+    check_deadline:
+        Optional callback invoked periodically so callers can abort
+        long runs (benchmark timeouts).
+    """
+    window: list[Sequence] = []
+    comparisons = 0
+    window_peak = 0
+    deadline_tick = 0
+    for t in rows:
+        if check_deadline is not None:
+            deadline_tick += 1
+            if deadline_tick % 256 == 0:
+                check_deadline()
+        t_dominated = False
+        survivors: list[Sequence] = []
+        for w in window:
+            if t_dominated:
+                survivors.append(w)
+                continue
+            comparisons += 1
+            if dominance(w, t, dims):
+                t_dominated = True
+                survivors.append(w)
+                continue
+            comparisons += 1
+            if dominance(t, w, dims):
+                # w is dominated by t: drop it.
+                continue
+            if distinct and equal_on_dimensions(t, w, dims):
+                # Same skyline-dimension values: keep the incumbent only.
+                t_dominated = True
+            survivors.append(w)
+        window = survivors
+        if not t_dominated:
+            window.append(t)
+            if len(window) > window_peak:
+                window_peak = len(window)
+    if stats is not None:
+        stats.comparisons += comparisons
+        stats.note_window(window_peak)
+    return window
+
+
+def bnl_skyline_incremental(dims: Sequence[BoundDimension],
+                            distinct: bool = False,
+                            dominance: Callable = dominates):
+    """A reusable BNL accumulator.
+
+    Returns ``(add, current)`` where ``add(row)`` folds one tuple into the
+    window and ``current()`` returns the present skyline.  Useful for
+    streaming-style consumption and for tests that probe intermediate
+    window states.
+    """
+    window: list[Sequence] = []
+
+    def add(t: Sequence) -> None:
+        nonlocal window
+        t_dominated = False
+        survivors: list[Sequence] = []
+        for w in window:
+            if t_dominated:
+                survivors.append(w)
+                continue
+            if dominance(w, t, dims):
+                t_dominated = True
+                survivors.append(w)
+                continue
+            if dominance(t, w, dims):
+                continue
+            if distinct and equal_on_dimensions(t, w, dims):
+                t_dominated = True
+            survivors.append(w)
+        window = survivors
+        if not t_dominated:
+            window.append(t)
+
+    def current() -> list[Sequence]:
+        return list(window)
+
+    return add, current

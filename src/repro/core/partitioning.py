@@ -1,0 +1,159 @@
+"""Partitioning schemes for the local skyline stage.
+
+The paper uses Spark's default (even) distribution and names grid-based
+and angle-based partitioning [25, 42] as future work (Section 7).  This
+module implements the three classic schemes plus grid-cell dominance
+pruning [41]:
+
+* :func:`random_partitions` -- round-robin, the Spark-default stand-in;
+* :func:`grid_partitions` -- split the data space into hyper-rectangles;
+  with :func:`prune_dominated_cells`, entire cells whose best corner is
+  dominated by another cell's worst corner are dropped before any
+  per-tuple work;
+* :func:`angle_partitions` -- partition by the angular coordinates of
+  each point (after mapping MAX dimensions to "smaller is better"),
+  which tends to give every partition a share of the skyline and hence
+  balanced local skylines.
+
+All schemes preserve the multiset of rows, so
+``global_skyline(union(local skylines))`` is unchanged -- only the local
+pruning power differs.  Exercised by the partitioning ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .dominance import BoundDimension, DimensionKind
+
+
+def _oriented_value(row: Sequence, dim: BoundDimension) -> float:
+    """Dimension value mapped so smaller is always better (MIN order)."""
+    value = row[dim.index]
+    return value if dim.kind is DimensionKind.MIN else -value
+
+
+def random_partitions(rows: Sequence[Sequence],
+                      num_partitions: int) -> list[list[Sequence]]:
+    """Round-robin distribution (the baseline scheme)."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    partitions: list[list[Sequence]] = [[] for _ in range(num_partitions)]
+    for i, row in enumerate(rows):
+        partitions[i % num_partitions].append(row)
+    return partitions
+
+
+def grid_partitions(rows: Sequence[Sequence],
+                    dims: Sequence[BoundDimension],
+                    cells_per_dimension: int = 2
+                    ) -> dict[tuple[int, ...], list[Sequence]]:
+    """Equi-width grid over the (oriented) skyline dimensions.
+
+    Returns a mapping from cell coordinates to the rows in that cell.
+    DIFF dimensions do not participate in the grid.
+    """
+    if cells_per_dimension < 1:
+        raise ValueError("cells_per_dimension must be >= 1")
+    rows = list(rows)
+    grid_dims = [d for d in dims if d.kind is not DimensionKind.DIFF]
+    if not rows or not grid_dims:
+        return {(): rows}
+    lows = []
+    highs = []
+    for dim in grid_dims:
+        values = [_oriented_value(row, dim) for row in rows]
+        lows.append(min(values))
+        highs.append(max(values))
+    cells: dict[tuple[int, ...], list[Sequence]] = {}
+    for row in rows:
+        coordinate = []
+        for dim, low, high in zip(grid_dims, lows, highs):
+            if high == low:
+                coordinate.append(0)
+                continue
+            fraction = (_oriented_value(row, dim) - low) / (high - low)
+            coordinate.append(min(cells_per_dimension - 1,
+                                  int(fraction * cells_per_dimension)))
+        cells.setdefault(tuple(coordinate), []).append(row)
+    return cells
+
+
+def prune_dominated_cells(cells: dict[tuple[int, ...], list[Sequence]]
+                          ) -> dict[tuple[int, ...], list[Sequence]]:
+    """Drop grid cells dominated by another non-empty cell [41].
+
+    Cell ``c`` is dominated by cell ``d`` if every coordinate of ``d``
+    is strictly smaller (oriented: smaller is better): then the *worst*
+    corner of ``d`` dominates the *best* corner of ``c``, hence every
+    tuple of ``d`` dominates every tuple of ``c``.
+    """
+    occupied = list(cells.keys())
+    survivors: dict[tuple[int, ...], list[Sequence]] = {}
+    for cell in occupied:
+        dominated = any(
+            other != cell
+            and len(other) == len(cell)
+            and all(o < c for o, c in zip(other, cell))
+            for other in occupied)
+        if not dominated:
+            survivors[cell] = cells[cell]
+    return survivors
+
+
+def angle_partitions(rows: Sequence[Sequence],
+                     dims: Sequence[BoundDimension],
+                     num_partitions: int) -> list[list[Sequence]]:
+    """Angle-based space partitioning [42].
+
+    Points are shifted to positive (oriented) coordinates and assigned
+    by their first hyper-spherical angle.  Because every angular slice
+    touches the origin region, each partition is likely to carry part of
+    the skyline, balancing local skyline sizes.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    rows = list(rows)
+    value_dims = [d for d in dims if d.kind is not DimensionKind.DIFF]
+    if not rows or len(value_dims) < 2:
+        return random_partitions(rows, num_partitions)
+    lows = []
+    for dim in value_dims:
+        lows.append(min(_oriented_value(row, dim) for row in rows))
+    partitions: list[list[Sequence]] = [[] for _ in range(num_partitions)]
+    for row in rows:
+        shifted = [_oriented_value(row, dim) - low + 1e-9
+                   for dim, low in zip(value_dims, lows)]
+        # First angular coordinate: atan2 over the first two axes.
+        angle = math.atan2(shifted[1], shifted[0])  # in (0, pi/2)
+        fraction = angle / (math.pi / 2)
+        index = min(num_partitions - 1, int(fraction * num_partitions))
+        partitions[index].append(row)
+    return partitions
+
+
+def partition_rows(rows: Sequence[Sequence],
+                   dims: Sequence[BoundDimension],
+                   scheme: str, num_partitions: int,
+                   prune_cells: bool = False) -> list[list[Sequence]]:
+    """Uniform front door over the schemes.
+
+    ``scheme`` is ``random``, ``grid`` or ``angle``; for ``grid`` the
+    partition count is rounded to a per-dimension cell count and
+    ``prune_cells`` enables cell-dominance pruning.
+    """
+    if scheme == "random":
+        return random_partitions(rows, num_partitions)
+    if scheme == "angle":
+        return angle_partitions(rows, dims, num_partitions)
+    if scheme == "grid":
+        value_dims = [d for d in dims
+                      if d.kind is not DimensionKind.DIFF]
+        per_dimension = max(
+            1, round(num_partitions ** (1.0 / max(1, len(value_dims)))))
+        cells = grid_partitions(rows, dims, per_dimension)
+        if prune_cells:
+            cells = prune_dominated_cells(cells)
+        return list(cells.values())
+    raise ValueError(f"unknown partitioning scheme {scheme!r}")

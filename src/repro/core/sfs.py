@@ -1,0 +1,70 @@
+"""Sort-Filter-Skyline (SFS) -- presorting-based skyline computation.
+
+The paper lists sorting-based algorithms (SFS [10, 11], LESS, SaLSa, SDI)
+as the main alternative family and names implementing them in Spark as
+future work (Section 7).  We provide SFS as a drop-in replacement for the
+BNL local/global computation, exercised by the ablation benchmark.
+
+SFS sorts the input by a *monotone scoring function* (here: the sum of
+each dimension's value normalised to "smaller is better" rank order).
+After sorting, no tuple can be dominated by a *later* tuple, so the
+window only needs dominance checks in one direction and never shrinks --
+every window insertion is final.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .dominance import (BoundDimension, DimensionKind, DominanceStats,
+                        dominates, equal_on_dimensions)
+
+
+def monotone_score(row: Sequence, dims: Sequence[BoundDimension]) -> float:
+    """A scoring function monotone w.r.t. dominance.
+
+    If ``r`` dominates ``s`` then ``score(r) < score(s)`` (MIN/MAX
+    dimensions only; DIFF dimensions do not contribute).  Nulls are not
+    supported -- SFS is a complete-data algorithm.
+    """
+    score = 0.0
+    for dim in dims:
+        if dim.kind is DimensionKind.DIFF:
+            continue
+        value = row[dim.index]
+        score += value if dim.kind is DimensionKind.MIN else -value
+    return score
+
+
+def sfs_skyline(rows: Sequence[Sequence], dims: Sequence[BoundDimension],
+                distinct: bool = False,
+                stats: DominanceStats | None = None,
+                check_deadline: Callable[[], None] | None = None
+                ) -> list[Sequence]:
+    """Skyline via Sort-Filter-Skyline.
+
+    Only valid for complete data (no nulls in skyline dimensions) because
+    both the scoring function and the one-directional window argument
+    require total comparability.
+    """
+    ordered = sorted(rows, key=lambda r: monotone_score(r, dims))
+    window: list[Sequence] = []
+    comparisons = 0
+    for i, t in enumerate(ordered):
+        if check_deadline is not None and i % 256 == 0:
+            check_deadline()
+        t_dominated = False
+        for w in window:
+            comparisons += 1
+            if dominates(w, t, dims):
+                t_dominated = True
+                break
+            if distinct and equal_on_dimensions(w, t, dims):
+                t_dominated = True
+                break
+        if not t_dominated:
+            window.append(t)
+    if stats is not None:
+        stats.comparisons += comparisons
+        stats.note_window(len(window))
+    return window

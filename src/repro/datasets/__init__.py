@@ -1,0 +1,38 @@
+"""Dataset generators standing in for the paper's evaluation data.
+
+The paper uses the Inside Airbnb subset (real-world), DSB ``store_sales``
+(synthetic) and a MusicBrainz subset (complex queries).  None of these
+can be downloaded in this offline reproduction, so each module generates
+a synthetic dataset with the same schema, the same skyline dimensions
+(Tables 1, 2 and 13 of the paper), comparable correlation structure and
+comparable null patterns.
+"""
+
+from .airbnb import (AIRBNB_SKYLINE_DIMENSIONS, airbnb_workload,
+                     generate_airbnb)
+from .generators import (anticorrelated_rows, correlated_rows,
+                         independent_rows)
+from .musicbrainz import (MUSICBRAINZ_SKYLINE_DIMENSIONS,
+                          MusicBrainzWorkload, generate_musicbrainz,
+                          musicbrainz_workload, register_musicbrainz)
+from .store_sales import (STORE_SALES_SKYLINE_DIMENSIONS,
+                          generate_store_sales, store_sales_workload)
+from .workload import Workload
+
+__all__ = [
+    "AIRBNB_SKYLINE_DIMENSIONS",
+    "MUSICBRAINZ_SKYLINE_DIMENSIONS",
+    "MusicBrainzWorkload",
+    "STORE_SALES_SKYLINE_DIMENSIONS",
+    "Workload",
+    "musicbrainz_workload",
+    "airbnb_workload",
+    "anticorrelated_rows",
+    "correlated_rows",
+    "generate_airbnb",
+    "generate_musicbrainz",
+    "generate_store_sales",
+    "independent_rows",
+    "register_musicbrainz",
+    "store_sales_workload",
+]

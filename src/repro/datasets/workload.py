@@ -1,0 +1,78 @@
+"""Workload descriptor shared by the dataset modules and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api.session import SkylineSession
+
+
+@dataclass
+class Workload:
+    """A benchmark workload: a table plus its skyline-query shape.
+
+    ``skyline_dimensions`` lists ``(column, kind)`` pairs in the order the
+    paper uses them; a query with *k* dimensions takes the first *k*
+    (Section 6.2: "selecting the dimensions in the same order as they
+    appear in the table").
+    """
+
+    table_name: str
+    columns: list[tuple]          # (name, dtype, nullable) specs
+    rows: list[tuple]
+    skyline_dimensions: list[tuple[str, str]]
+    select_columns: list[str] = field(default_factory=list)
+    #: True when nulls may occur in skyline dimensions.
+    incomplete: bool = False
+
+    def register(self, session: "SkylineSession") -> None:
+        session.create_table(self.table_name, self.columns, self.rows)
+
+    def dimensions(self, num: int) -> list[tuple[str, str]]:
+        if not 1 <= num <= len(self.skyline_dimensions):
+            raise ValueError(
+                f"dimension count {num} out of range 1.."
+                f"{len(self.skyline_dimensions)}")
+        return self.skyline_dimensions[:num]
+
+    def skyline_sql(self, num_dimensions: int,
+                    complete_keyword: bool = False) -> str:
+        """The integrated skyline query (Listing 2 style)."""
+        dims = ", ".join(f"{name} {kind.upper()}"
+                         for name, kind in self.dimensions(num_dimensions))
+        columns = ", ".join(self.select_columns or
+                            [c[0] for c in self.columns])
+        keyword = "COMPLETE " if complete_keyword else ""
+        return (f"SELECT {columns} FROM {self.table_name} "
+                f"SKYLINE OF {keyword}{dims}")
+
+    def reference_sql(self, num_dimensions: int) -> str:
+        """The plain-SQL rewrite (Listing 4 style)."""
+        dims = self.dimensions(num_dimensions)
+        columns = ", ".join(self.select_columns or
+                            [c[0] for c in self.columns])
+        weak: list[str] = []
+        strict: list[str] = []
+        for name, kind in dims:
+            kind = kind.lower()
+            if kind == "min":
+                weak.append(f"i.{name} <= o.{name}")
+                strict.append(f"i.{name} < o.{name}")
+            elif kind == "max":
+                weak.append(f"i.{name} >= o.{name}")
+                strict.append(f"i.{name} > o.{name}")
+            else:  # diff
+                weak.append(f"i.{name} = o.{name}")
+        weak_sql = " AND ".join(weak)
+        strict_sql = " OR ".join(strict) if strict else "FALSE"
+        return (
+            f"SELECT {columns} FROM {self.table_name} AS o "
+            f"WHERE NOT EXISTS("
+            f"SELECT * FROM {self.table_name} AS i "
+            f"WHERE {weak_sql} AND ({strict_sql}))")
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,35 @@
+"""The engine substrate: types, rows, expressions, RDDs, cluster, catalog."""
+
+from .catalog import Catalog, ForeignKey, Table
+from .cluster import ClusterConfig, ExecutionContext
+from .rdd import RDD
+from .row import Field, Row, Schema, infer_schema
+from .types import (BOOLEAN, DOUBLE, INTEGER, STRING, BooleanType, DataType,
+                    DoubleType, IntegerType, StringType, common_type,
+                    infer_type, is_numeric, is_orderable)
+
+__all__ = [
+    "BOOLEAN",
+    "BooleanType",
+    "Catalog",
+    "ClusterConfig",
+    "DOUBLE",
+    "DataType",
+    "DoubleType",
+    "ExecutionContext",
+    "Field",
+    "ForeignKey",
+    "INTEGER",
+    "IntegerType",
+    "RDD",
+    "Row",
+    "STRING",
+    "Schema",
+    "StringType",
+    "Table",
+    "common_type",
+    "infer_schema",
+    "infer_type",
+    "is_numeric",
+    "is_orderable",
+]

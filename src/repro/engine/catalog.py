@@ -1,0 +1,94 @@
+"""Table catalog.
+
+The analyzer "takes each identifier and translates it using the Catalog"
+(Section 4).  Tables hold their rows, a schema, and optional constraint
+metadata (primary/foreign keys) which the optimizer's non-reductive-join
+rule consults (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import AnalysisError
+from .row import Schema
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A referential constraint: ``columns`` reference ``ref_table``.
+
+    Together with NOT NULL on the referencing columns this makes a join
+    along the key *non-reductive* in the sense of Carey & Kossmann [6]:
+    every row of the referencing table finds at least one partner.
+    """
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+@dataclass
+class Table:
+    """A named dataset registered in the catalog."""
+
+    name: str
+    schema: Schema
+    rows: list[tuple]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+    #: Columns with a UNIQUE constraint (each a tuple of column names).
+    unique_keys: list[tuple[str, ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        width = len(self.schema)
+        for row in self.rows:
+            if len(row) != width:
+                raise AnalysisError(
+                    f"row width {len(row)} does not match schema width "
+                    f"{width} for table {self.name!r}")
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+
+class Catalog:
+    """A case-insensitive registry of tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table, replace: bool = True) -> None:
+        key = table.name.lower()
+        if not replace and key in self._tables:
+            raise AnalysisError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def create_table(self, name: str, schema: Schema,
+                     rows: Iterable[tuple],
+                     primary_key: Sequence[str] = (),
+                     foreign_keys: Iterable[ForeignKey] = (),
+                     unique_keys: Iterable[Sequence[str]] = ()) -> Table:
+        table = Table(name=name, schema=schema, rows=list(rows),
+                      primary_key=tuple(primary_key),
+                      foreign_keys=list(foreign_keys),
+                      unique_keys=[tuple(k) for k in unique_keys])
+        self.register(table)
+        return table
+
+    def lookup(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise AnalysisError(f"table or view not found: {name}") from None
+
+    def exists(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

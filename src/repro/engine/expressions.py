@@ -1,0 +1,1301 @@
+"""Expression trees.
+
+The expression system mirrors Catalyst's: parsing produces *unresolved*
+expressions (:class:`UnresolvedAttribute`, :class:`UnresolvedFunction`,
+:class:`UnresolvedStar`), the analyzer resolves them into typed
+expressions anchored on :class:`AttributeReference` (identified by a
+globally unique ``expr_id`` exactly like Catalyst's ``ExprId``), and
+physical planning *binds* attribute references to tuple ordinals
+(:class:`BoundReference`) so evaluation in the hot loops is pure indexed
+access.
+
+SQL three-valued logic is implemented throughout: comparisons and
+arithmetic propagate ``None``, ``AND``/``OR`` use Kleene logic, and
+aggregates skip nulls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..core.dominance import DimensionKind
+from ..errors import AnalysisError
+from .types import (BOOLEAN, DOUBLE, INTEGER, STRING, DataType, common_type,
+                    infer_type, is_numeric, is_orderable)
+
+_expr_id_counter = itertools.count(1)
+
+
+def next_expr_id() -> int:
+    """Allocate a fresh, process-unique expression id."""
+    return next(_expr_id_counter)
+
+
+class Expression:
+    """Base class of all expressions."""
+
+    children: tuple["Expression", ...] = ()
+
+    # -- resolution ------------------------------------------------------
+
+    @property
+    def resolved(self) -> bool:
+        """True once all children are resolved and the type is known."""
+        return all(c.resolved for c in self.children)
+
+    @property
+    def dtype(self) -> DataType:
+        raise AnalysisError(f"unresolved expression has no type: {self!r}")
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    # -- evaluation ------------------------------------------------------
+
+    def eval(self, row: tuple) -> Any:
+        """Evaluate against a row tuple; only valid once bound."""
+        raise AnalysisError(f"cannot evaluate unbound expression {self!r}")
+
+    # -- tree plumbing ---------------------------------------------------
+
+    def with_children(self, children: Sequence["Expression"]) -> "Expression":
+        """Return a copy of this node with new children.
+
+        The default implementation works for nodes whose constructor takes
+        exactly the children in order; nodes with extra state override it.
+        """
+        if not self.children:
+            return self
+        return type(self)(*children)  # type: ignore[call-arg]
+
+    def transform_up(self, fn: Callable[["Expression"], "Expression"]
+                     ) -> "Expression":
+        """Bottom-up rewrite: apply ``fn`` to children first, then self."""
+        if self.children:
+            new_children = [c.transform_up(fn) for c in self.children]
+            if any(n is not o for n, o in zip(new_children, self.children)):
+                return fn(self.with_children(new_children))
+        return fn(self)
+
+    def iter_tree(self) -> Iterator["Expression"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    def references(self) -> set["AttributeReference"]:
+        """All attribute references appearing in this tree."""
+        return {e for e in self.iter_tree()
+                if isinstance(e, AttributeReference)}
+
+    def contains_aggregate(self) -> bool:
+        return any(isinstance(e, AggregateFunction) for e in self.iter_tree())
+
+    # -- operator sugar ----------------------------------------------------
+    #
+    # Arithmetic and ordering comparisons build expression trees, PySpark
+    # Column style.  ``==`` is intentionally NOT overloaded: expression
+    # node equality (by identity / expr_id) is needed by the planner.
+
+    def __add__(self, other: "Expression | int | float") -> "Expression":
+        return Add(self, _lift_operand(other))
+
+    def __radd__(self, other: "Expression | int | float") -> "Expression":
+        return Add(_lift_operand(other), self)
+
+    def __sub__(self, other: "Expression | int | float") -> "Expression":
+        return Subtract(self, _lift_operand(other))
+
+    def __rsub__(self, other: "Expression | int | float") -> "Expression":
+        return Subtract(_lift_operand(other), self)
+
+    def __mul__(self, other: "Expression | int | float") -> "Expression":
+        return Multiply(self, _lift_operand(other))
+
+    def __rmul__(self, other: "Expression | int | float") -> "Expression":
+        return Multiply(_lift_operand(other), self)
+
+    def __truediv__(self, other: "Expression | int | float"
+                    ) -> "Expression":
+        return Divide(self, _lift_operand(other))
+
+    def __mod__(self, other: "Expression | int | float") -> "Expression":
+        return Modulo(self, _lift_operand(other))
+
+    def __neg__(self) -> "Expression":
+        return Negate(self)
+
+    def __lt__(self, other: "Expression | int | float") -> "Expression":
+        return LessThan(self, _lift_operand(other))
+
+    def __le__(self, other: "Expression | int | float") -> "Expression":
+        return LessThanOrEqual(self, _lift_operand(other))
+
+    def __gt__(self, other: "Expression | int | float") -> "Expression":
+        return GreaterThan(self, _lift_operand(other))
+
+    def __ge__(self, other: "Expression | int | float") -> "Expression":
+        return GreaterThanOrEqual(self, _lift_operand(other))
+
+    def eq_value(self, other: "Expression | int | float") -> "Expression":
+        """``self = other`` as an expression (named method because ``==``
+        keeps node-identity semantics)."""
+        return EqualTo(self, _lift_operand(other))
+
+    def is_null(self) -> "Expression":
+        return IsNull(self)
+
+    def is_not_null(self) -> "Expression":
+        return IsNotNull(self)
+
+    # -- naming ----------------------------------------------------------
+
+    def alias(self, name: str) -> "Alias":
+        """``expr AS name`` -- convenience for the DataFrame API."""
+        return Alias(self, name)
+
+    @property
+    def display_name(self) -> str:
+        """Column name this expression would get without an alias."""
+        return self.sql()
+
+    def sql(self) -> str:
+        return repr(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        args = ", ".join(repr(c) for c in self.children)
+        return f"{type(self).__name__}({args})"
+
+
+def _lift_operand(value: "Expression | int | float | str") -> "Expression":
+    """Wrap a plain Python value used as an operator operand."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+class LeafExpression(Expression):
+    children = ()
+
+    def with_children(self, children: Sequence[Expression]) -> Expression:
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class Literal(LeafExpression):
+    """A constant value with an explicit SQL type."""
+
+    def __init__(self, value: Any, dtype: DataType | None = None) -> None:
+        self.value = value
+        self._dtype = dtype if dtype is not None else infer_type(value)
+
+    @property
+    def resolved(self) -> bool:
+        return True
+
+    @property
+    def dtype(self) -> DataType:
+        return self._dtype
+
+    @property
+    def nullable(self) -> bool:
+        return self.value is None
+
+    def eval(self, row: tuple) -> Any:
+        return self.value
+
+    def sql(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if self.value is None:
+            return "NULL"
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Literal) and other.value == self.value
+                and other._dtype == self._dtype)
+
+    def __hash__(self) -> int:
+        return hash((Literal, self.value, self._dtype))
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+class UnresolvedAttribute(LeafExpression):
+    """A column reference by name, optionally qualified (``t.col``)."""
+
+    def __init__(self, name: str, qualifier: str | None = None) -> None:
+        self.name = name
+        self.qualifier = qualifier
+
+    @property
+    def resolved(self) -> bool:
+        return False
+
+    @property
+    def display_name(self) -> str:
+        return self.name
+
+    def sql(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"'{self.sql()}"
+
+
+class UnresolvedStar(LeafExpression):
+    """``*`` or ``t.*`` in a select list."""
+
+    def __init__(self, qualifier: str | None = None) -> None:
+        self.qualifier = qualifier
+
+    @property
+    def resolved(self) -> bool:
+        return False
+
+    def sql(self) -> str:
+        return f"{self.qualifier}.*" if self.qualifier else "*"
+
+
+class AttributeReference(LeafExpression):
+    """A resolved column, identified by a unique ``expr_id``.
+
+    Like Catalyst's ``AttributeReference``: name collisions are fine
+    because identity is the id, not the name.
+    """
+
+    def __init__(self, name: str, dtype: DataType, nullable: bool = True,
+                 expr_id: int | None = None,
+                 qualifier: str | None = None) -> None:
+        self.name = name
+        self._dtype = dtype
+        self._nullable = nullable
+        self.expr_id = expr_id if expr_id is not None else next_expr_id()
+        self.qualifier = qualifier
+
+    @property
+    def resolved(self) -> bool:
+        return True
+
+    @property
+    def dtype(self) -> DataType:
+        return self._dtype
+
+    @property
+    def nullable(self) -> bool:
+        return self._nullable
+
+    @property
+    def display_name(self) -> str:
+        return self.name
+
+    def with_qualifier(self, qualifier: str | None) -> "AttributeReference":
+        return AttributeReference(self.name, self._dtype, self._nullable,
+                                  self.expr_id, qualifier)
+
+    def with_nullability(self, nullable: bool) -> "AttributeReference":
+        return AttributeReference(self.name, self._dtype, nullable,
+                                  self.expr_id, self.qualifier)
+
+    def sql(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, AttributeReference)
+                and other.expr_id == self.expr_id)
+
+    def __hash__(self) -> int:
+        return hash((AttributeReference, self.expr_id))
+
+    def __repr__(self) -> str:
+        return f"{self.name}#{self.expr_id}"
+
+
+class OuterReference(LeafExpression):
+    """A reference to an attribute of an *outer* query.
+
+    Wraps attributes resolved against the enclosing plan during
+    correlated-subquery analysis (Catalyst's ``OuterReference``).  The
+    wrapped attribute is intentionally *not* a child so it does not count
+    toward the inner plan's missing-input set; the optimizer unwraps it
+    when decorrelating into a join condition.
+    """
+
+    def __init__(self, attr: "AttributeReference") -> None:
+        self.attr = attr
+
+    @property
+    def resolved(self) -> bool:
+        return True
+
+    @property
+    def dtype(self) -> DataType:
+        return self.attr.dtype
+
+    @property
+    def nullable(self) -> bool:
+        return self.attr.nullable
+
+    def sql(self) -> str:
+        return f"outer({self.attr.sql()})"
+
+    def __repr__(self) -> str:
+        return f"outer({self.attr!r})"
+
+
+def contains_outer_reference(expr: "Expression") -> bool:
+    """True if any OuterReference occurs in the tree."""
+    return any(isinstance(node, OuterReference) for node in expr.iter_tree())
+
+
+def strip_outer_references(expr: "Expression") -> "Expression":
+    """Replace each OuterReference with its wrapped attribute."""
+
+    def unwrap(node: "Expression") -> "Expression":
+        if isinstance(node, OuterReference):
+            return node.attr
+        return node
+
+    return expr.transform_up(unwrap)
+
+
+class BoundReference(LeafExpression):
+    """An attribute bound to a tuple ordinal; the only leaf that reads rows."""
+
+    def __init__(self, index: int, dtype: DataType, nullable: bool = True,
+                 name: str = "") -> None:
+        self.index = index
+        self._dtype = dtype
+        self._nullable = nullable
+        self.name = name
+
+    @property
+    def resolved(self) -> bool:
+        return True
+
+    @property
+    def dtype(self) -> DataType:
+        return self._dtype
+
+    @property
+    def nullable(self) -> bool:
+        return self._nullable
+
+    def eval(self, row: tuple) -> Any:
+        return row[self.index]
+
+    def __repr__(self) -> str:
+        return f"input[{self.index}]"
+
+
+# ---------------------------------------------------------------------------
+# Named expressions
+# ---------------------------------------------------------------------------
+
+
+class Alias(Expression):
+    """``expr AS name``; carries its own expr_id so downstream operators
+    can reference the aliased output."""
+
+    def __init__(self, child: Expression, name: str,
+                 expr_id: int | None = None) -> None:
+        self.children = (child,)
+        self.name = name
+        self.expr_id = expr_id if expr_id is not None else next_expr_id()
+
+    @property
+    def child(self) -> Expression:
+        return self.children[0]
+
+    @property
+    def dtype(self) -> DataType:
+        return self.child.dtype
+
+    @property
+    def nullable(self) -> bool:
+        return self.child.nullable
+
+    @property
+    def display_name(self) -> str:
+        return self.name
+
+    def with_children(self, children: Sequence[Expression]) -> "Alias":
+        return Alias(children[0], self.name, self.expr_id)
+
+    def to_attribute(self) -> AttributeReference:
+        """The attribute this alias exposes to parent operators."""
+        if not self.child.resolved:
+            raise AnalysisError(f"alias over unresolved child: {self!r}")
+        return AttributeReference(self.name, self.dtype, self.nullable,
+                                  self.expr_id)
+
+    def eval(self, row: tuple) -> Any:
+        return self.child.eval(row)
+
+    def sql(self) -> str:
+        return f"{self.child.sql()} AS {self.name}"
+
+    def __repr__(self) -> str:
+        return f"{self.child!r} AS {self.name}#{self.expr_id}"
+
+
+def named_output(expr: Expression) -> AttributeReference:
+    """The output attribute of a select-list expression."""
+    if isinstance(expr, Alias):
+        return expr.to_attribute()
+    if isinstance(expr, AttributeReference):
+        return expr
+    raise AnalysisError(
+        f"expression {expr.sql()} has no name; wrap it in an Alias")
+
+
+# ---------------------------------------------------------------------------
+# Unary predicates and functions
+# ---------------------------------------------------------------------------
+
+
+class IsNull(Expression):
+    def __init__(self, child: Expression) -> None:
+        self.children = (child,)
+
+    @property
+    def dtype(self) -> DataType:
+        return BOOLEAN
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def eval(self, row: tuple) -> Any:
+        return self.children[0].eval(row) is None
+
+    def sql(self) -> str:
+        return f"{self.children[0].sql()} IS NULL"
+
+
+class IsNotNull(Expression):
+    def __init__(self, child: Expression) -> None:
+        self.children = (child,)
+
+    @property
+    def dtype(self) -> DataType:
+        return BOOLEAN
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def eval(self, row: tuple) -> Any:
+        return self.children[0].eval(row) is not None
+
+    def sql(self) -> str:
+        return f"{self.children[0].sql()} IS NOT NULL"
+
+
+class Not(Expression):
+    def __init__(self, child: Expression) -> None:
+        self.children = (child,)
+
+    @property
+    def dtype(self) -> DataType:
+        return BOOLEAN
+
+    @property
+    def nullable(self) -> bool:
+        return self.children[0].nullable
+
+    def eval(self, row: tuple) -> Any:
+        value = self.children[0].eval(row)
+        if value is None:
+            return None
+        return not value
+
+    def sql(self) -> str:
+        return f"NOT ({self.children[0].sql()})"
+
+
+class Negate(Expression):
+    """Arithmetic unary minus."""
+
+    def __init__(self, child: Expression) -> None:
+        self.children = (child,)
+
+    @property
+    def dtype(self) -> DataType:
+        return self.children[0].dtype
+
+    def eval(self, row: tuple) -> Any:
+        value = self.children[0].eval(row)
+        return None if value is None else -value
+
+    def sql(self) -> str:
+        return f"-({self.children[0].sql()})"
+
+
+class IfNull(Expression):
+    """``ifnull(a, b)`` / two-argument coalesce, used by the MusicBrainz
+    queries of Appendix E."""
+
+    def __init__(self, child: Expression, default: Expression) -> None:
+        self.children = (child, default)
+
+    @property
+    def resolved(self) -> bool:
+        if not all(c.resolved for c in self.children):
+            return False
+        return common_type(self.children[0].dtype,
+                           self.children[1].dtype) is not None
+
+    @property
+    def dtype(self) -> DataType:
+        result = common_type(self.children[0].dtype, self.children[1].dtype)
+        if result is None:
+            raise AnalysisError(
+                f"ifnull arguments have incompatible types: {self.sql()}")
+        return result
+
+    @property
+    def nullable(self) -> bool:
+        return self.children[1].nullable
+
+    def eval(self, row: tuple) -> Any:
+        value = self.children[0].eval(row)
+        if value is None:
+            return self.children[1].eval(row)
+        return value
+
+    def sql(self) -> str:
+        return f"ifnull({self.children[0].sql()}, {self.children[1].sql()})"
+
+
+class Coalesce(Expression):
+    """First non-null argument."""
+
+    def __init__(self, *args: Expression) -> None:
+        if not args:
+            raise AnalysisError("coalesce requires at least one argument")
+        self.children = tuple(args)
+
+    @property
+    def dtype(self) -> DataType:
+        result = self.children[0].dtype
+        for child in self.children[1:]:
+            merged = common_type(result, child.dtype)
+            if merged is None:
+                raise AnalysisError(
+                    f"coalesce arguments have incompatible types: "
+                    f"{self.sql()}")
+            result = merged
+        return result
+
+    @property
+    def nullable(self) -> bool:
+        return all(c.nullable for c in self.children)
+
+    def eval(self, row: tuple) -> Any:
+        for child in self.children:
+            value = child.eval(row)
+            if value is not None:
+                return value
+        return None
+
+    def sql(self) -> str:
+        inner = ", ".join(c.sql() for c in self.children)
+        return f"coalesce({inner})"
+
+
+class Abs(Expression):
+    def __init__(self, child: Expression) -> None:
+        self.children = (child,)
+
+    @property
+    def dtype(self) -> DataType:
+        return self.children[0].dtype
+
+    def eval(self, row: tuple) -> Any:
+        value = self.children[0].eval(row)
+        return None if value is None else abs(value)
+
+    def sql(self) -> str:
+        return f"abs({self.children[0].sql()})"
+
+
+# ---------------------------------------------------------------------------
+# Binary operators
+# ---------------------------------------------------------------------------
+
+
+class BinaryExpression(Expression):
+    """Base for binary operators with null-propagating evaluation."""
+
+    symbol = "?"
+
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.children = (left, right)
+
+    @property
+    def left(self) -> Expression:
+        return self.children[0]
+
+    @property
+    def right(self) -> Expression:
+        return self.children[1]
+
+    @property
+    def nullable(self) -> bool:
+        return self.left.nullable or self.right.nullable
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.symbol} {self.right.sql()})"
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class ArithmeticExpression(BinaryExpression):
+    op: Callable[[Any, Any], Any]
+
+    @property
+    def resolved(self) -> bool:
+        if not all(c.resolved for c in self.children):
+            return False
+        return (is_numeric(self.left.dtype) and is_numeric(self.right.dtype))
+
+    @property
+    def dtype(self) -> DataType:
+        result = common_type(self.left.dtype, self.right.dtype)
+        if result is None or not is_numeric(result):
+            raise AnalysisError(
+                f"arithmetic on non-numeric operands: {self.sql()}")
+        return result
+
+    def eval(self, row: tuple) -> Any:
+        lhs = self.left.eval(row)
+        if lhs is None:
+            return None
+        rhs = self.right.eval(row)
+        if rhs is None:
+            return None
+        return type(self).op(lhs, rhs)
+
+
+class Add(ArithmeticExpression):
+    symbol = "+"
+    op = staticmethod(lambda a, b: a + b)
+
+
+class Subtract(ArithmeticExpression):
+    symbol = "-"
+    op = staticmethod(lambda a, b: a - b)
+
+
+class Multiply(ArithmeticExpression):
+    symbol = "*"
+    op = staticmethod(lambda a, b: a * b)
+
+
+class Divide(ArithmeticExpression):
+    symbol = "/"
+
+    @staticmethod
+    def op(a: Any, b: Any) -> Any:
+        # SQL semantics: division by zero yields NULL rather than an error.
+        if b == 0:
+            return None
+        return a / b
+
+    @property
+    def dtype(self) -> DataType:
+        super().dtype  # type check
+        return DOUBLE
+
+
+class Modulo(ArithmeticExpression):
+    symbol = "%"
+
+    @staticmethod
+    def op(a: Any, b: Any) -> Any:
+        if b == 0:
+            return None
+        return a % b
+
+
+class ComparisonExpression(BinaryExpression):
+    op: Callable[[Any, Any], bool]
+
+    @property
+    def resolved(self) -> bool:
+        if not all(c.resolved for c in self.children):
+            return False
+        if not (is_orderable(self.left.dtype)
+                and is_orderable(self.right.dtype)):
+            return False
+        return common_type(self.left.dtype, self.right.dtype) is not None
+
+    @property
+    def dtype(self) -> DataType:
+        return BOOLEAN
+
+    def eval(self, row: tuple) -> Any:
+        lhs = self.left.eval(row)
+        if lhs is None:
+            return None
+        rhs = self.right.eval(row)
+        if rhs is None:
+            return None
+        return type(self).op(lhs, rhs)
+
+
+class EqualTo(ComparisonExpression):
+    symbol = "="
+    op = staticmethod(lambda a, b: a == b)
+
+
+class NotEqualTo(ComparisonExpression):
+    symbol = "<>"
+    op = staticmethod(lambda a, b: a != b)
+
+
+class LessThan(ComparisonExpression):
+    symbol = "<"
+    op = staticmethod(lambda a, b: a < b)
+
+
+class LessThanOrEqual(ComparisonExpression):
+    symbol = "<="
+    op = staticmethod(lambda a, b: a <= b)
+
+
+class GreaterThan(ComparisonExpression):
+    symbol = ">"
+    op = staticmethod(lambda a, b: a > b)
+
+
+class GreaterThanOrEqual(ComparisonExpression):
+    symbol = ">="
+    op = staticmethod(lambda a, b: a >= b)
+
+
+class EqualNullSafe(BinaryExpression):
+    """``<=>``: null-safe equality, never returns NULL."""
+
+    symbol = "<=>"
+
+    @property
+    def dtype(self) -> DataType:
+        return BOOLEAN
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def eval(self, row: tuple) -> Any:
+        lhs = self.left.eval(row)
+        rhs = self.right.eval(row)
+        if lhs is None and rhs is None:
+            return True
+        if lhs is None or rhs is None:
+            return False
+        return lhs == rhs
+
+
+class And(BinaryExpression):
+    """Kleene AND: false wins over null."""
+
+    symbol = "AND"
+
+    @property
+    def dtype(self) -> DataType:
+        return BOOLEAN
+
+    def eval(self, row: tuple) -> Any:
+        lhs = self.left.eval(row)
+        if lhs is False:
+            return False
+        rhs = self.right.eval(row)
+        if rhs is False:
+            return False
+        if lhs is None or rhs is None:
+            return None
+        return True
+
+
+class Or(BinaryExpression):
+    """Kleene OR: true wins over null."""
+
+    symbol = "OR"
+
+    @property
+    def dtype(self) -> DataType:
+        return BOOLEAN
+
+    def eval(self, row: tuple) -> Any:
+        lhs = self.left.eval(row)
+        if lhs is True:
+            return True
+        rhs = self.right.eval(row)
+        if rhs is True:
+            return True
+        if lhs is None or rhs is None:
+            return None
+        return False
+
+
+def conjunction(predicates: Sequence[Expression]) -> Expression:
+    """AND together a list of predicates (TRUE for an empty list)."""
+    if not predicates:
+        return Literal(True, BOOLEAN)
+    result = predicates[0]
+    for predicate in predicates[1:]:
+        result = And(result, predicate)
+    return result
+
+
+def split_conjuncts(predicate: Expression) -> list[Expression]:
+    """Flatten a tree of ANDs into its conjuncts."""
+    if isinstance(predicate, And):
+        return split_conjuncts(predicate.left) + split_conjuncts(
+            predicate.right)
+    return [predicate]
+
+
+def disjunction(predicates: Sequence[Expression]) -> Expression:
+    """OR together a list of predicates (FALSE for an empty list)."""
+    if not predicates:
+        return Literal(False, BOOLEAN)
+    result = predicates[0]
+    for predicate in predicates[1:]:
+        result = Or(result, predicate)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Conditional
+# ---------------------------------------------------------------------------
+
+
+class CaseWhen(Expression):
+    """``CASE WHEN c1 THEN v1 ... ELSE e END``."""
+
+    def __init__(self, branches: Sequence[tuple[Expression, Expression]],
+                 else_value: Expression | None = None) -> None:
+        self.num_branches = len(branches)
+        flattened: list[Expression] = []
+        for condition, value in branches:
+            flattened.append(condition)
+            flattened.append(value)
+        self._else = else_value if else_value is not None else Literal(
+            None, STRING)
+        flattened.append(self._else)
+        self.children = tuple(flattened)
+
+    @property
+    def branches(self) -> list[tuple[Expression, Expression]]:
+        return [(self.children[2 * i], self.children[2 * i + 1])
+                for i in range(self.num_branches)]
+
+    @property
+    def else_value(self) -> Expression:
+        return self.children[-1]
+
+    def with_children(self, children: Sequence[Expression]) -> "CaseWhen":
+        branches = [(children[2 * i], children[2 * i + 1])
+                    for i in range(self.num_branches)]
+        return CaseWhen(branches, children[-1])
+
+    @property
+    def dtype(self) -> DataType:
+        result: DataType | None = None
+        for _, value in self.branches:
+            result = value.dtype if result is None else common_type(
+                result, value.dtype)
+        if not isinstance(self.else_value, Literal) or \
+                self.else_value.value is not None:
+            merged = common_type(result, self.else_value.dtype) \
+                if result is not None else self.else_value.dtype
+            result = merged if merged is not None else result
+        if result is None:
+            raise AnalysisError(f"cannot type CASE expression {self.sql()}")
+        return result
+
+    def eval(self, row: tuple) -> Any:
+        for condition, value in self.branches:
+            if condition.eval(row) is True:
+                return value.eval(row)
+        return self.else_value.eval(row)
+
+    def sql(self) -> str:
+        parts = ["CASE"]
+        for condition, value in self.branches:
+            parts.append(f"WHEN {condition.sql()} THEN {value.sql()}")
+        parts.append(f"ELSE {self.else_value.sql()} END")
+        return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Unresolved function call (resolved by the analyzer into one of the below)
+# ---------------------------------------------------------------------------
+
+
+class UnresolvedFunction(Expression):
+    def __init__(self, name: str, args: Sequence[Expression],
+                 is_distinct: bool = False) -> None:
+        self.name = name.lower()
+        self.children = tuple(args)
+        self.is_distinct = is_distinct
+
+    @property
+    def resolved(self) -> bool:
+        return False
+
+    def with_children(self, children: Sequence[Expression]
+                      ) -> "UnresolvedFunction":
+        return UnresolvedFunction(self.name, children, self.is_distinct)
+
+    def sql(self) -> str:
+        inner = ", ".join(c.sql() for c in self.children)
+        distinct = "DISTINCT " if self.is_distinct else ""
+        return f"{self.name}({distinct}{inner})"
+
+
+# ---------------------------------------------------------------------------
+# Aggregate functions
+# ---------------------------------------------------------------------------
+
+
+class AggregateFunction(Expression):
+    """Base class for aggregates, evaluated by the hash-aggregate operator.
+
+    Aggregates do not implement ``eval``; instead they provide the
+    fold interface ``initial`` / ``update`` / ``result`` that the
+    physical operator drives, with nulls skipped per SQL semantics.
+    """
+
+    name = "agg"
+
+    def __init__(self, child: Expression, is_distinct: bool = False) -> None:
+        self.children = (child,)
+        self.is_distinct = is_distinct
+
+    @property
+    def child(self) -> Expression:
+        return self.children[0]
+
+    def with_children(self, children: Sequence[Expression]
+                      ) -> "AggregateFunction":
+        return type(self)(children[0], self.is_distinct)
+
+    def initial(self) -> Any:
+        raise NotImplementedError
+
+    def update(self, acc: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def result(self, acc: Any) -> Any:
+        raise NotImplementedError
+
+    def sql(self) -> str:
+        distinct = "DISTINCT " if self.is_distinct else ""
+        return f"{self.name}({distinct}{self.child.sql()})"
+
+
+class Min(AggregateFunction):
+    name = "min"
+
+    @property
+    def dtype(self) -> DataType:
+        return self.child.dtype
+
+    def initial(self) -> Any:
+        return None
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if value is None:
+            return acc
+        if acc is None or value < acc:
+            return value
+        return acc
+
+    def result(self, acc: Any) -> Any:
+        return acc
+
+
+class Max(AggregateFunction):
+    name = "max"
+
+    @property
+    def dtype(self) -> DataType:
+        return self.child.dtype
+
+    def initial(self) -> Any:
+        return None
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if value is None:
+            return acc
+        if acc is None or value > acc:
+            return value
+        return acc
+
+    def result(self, acc: Any) -> Any:
+        return acc
+
+
+class Sum(AggregateFunction):
+    name = "sum"
+
+    @property
+    def dtype(self) -> DataType:
+        return self.child.dtype if is_numeric(self.child.dtype) else DOUBLE
+
+    def initial(self) -> Any:
+        return None
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if value is None:
+            return acc
+        return value if acc is None else acc + value
+
+    def result(self, acc: Any) -> Any:
+        return acc
+
+
+class Count(AggregateFunction):
+    """``count(expr)``; ``count(*)`` is represented as count(Literal(1))."""
+
+    name = "count"
+
+    @property
+    def dtype(self) -> DataType:
+        return INTEGER
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def initial(self) -> Any:
+        return (0, set()) if self.is_distinct else 0
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if value is None:
+            return acc
+        if self.is_distinct:
+            count, seen = acc
+            if value in seen:
+                return acc
+            seen.add(value)
+            return (count + 1, seen)
+        return acc + 1
+
+    def result(self, acc: Any) -> Any:
+        return acc[0] if self.is_distinct else acc
+
+
+class Average(AggregateFunction):
+    name = "avg"
+
+    @property
+    def dtype(self) -> DataType:
+        return DOUBLE
+
+    def initial(self) -> Any:
+        return (0.0, 0)
+
+    def update(self, acc: Any, value: Any) -> Any:
+        if value is None:
+            return acc
+        total, count = acc
+        return (total + value, count + 1)
+
+    def result(self, acc: Any) -> Any:
+        total, count = acc
+        if count == 0:
+            return None
+        return total / count
+
+
+AGGREGATE_FUNCTIONS: dict[str, type[AggregateFunction]] = {
+    "min": Min,
+    "max": Max,
+    "sum": Sum,
+    "count": Count,
+    "avg": Average,
+}
+
+
+# ---------------------------------------------------------------------------
+# Subquery expressions
+# ---------------------------------------------------------------------------
+
+
+class SubqueryExpression(Expression):
+    """Base for expressions that embed a logical plan.
+
+    The plan is intentionally untyped here (``Any``) to avoid a circular
+    import with :mod:`repro.plan.logical`.
+    """
+
+    def __init__(self, plan: Any) -> None:
+        self.plan = plan
+        self.children = ()
+
+    def with_plan(self, plan: Any) -> "SubqueryExpression":
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.plan = plan
+        return clone
+
+
+class ScalarSubquery(SubqueryExpression):
+    """A subquery producing a single value.
+
+    Created by the single-dimension-skyline optimizer rule (Section 5.4):
+    ``SKYLINE OF d MIN`` becomes ``WHERE d = (SELECT min(d) ...)``.  The
+    physical planner pre-executes the plan and substitutes a literal.
+    """
+
+    @property
+    def resolved(self) -> bool:
+        return bool(getattr(self.plan, "resolved", False))
+
+    @property
+    def dtype(self) -> DataType:
+        output = self.plan.output
+        if len(output) != 1:
+            raise AnalysisError(
+                "scalar subquery must return exactly one column")
+        return output[0].dtype
+
+    def sql(self) -> str:
+        return "(scalar-subquery)"
+
+    def __repr__(self) -> str:
+        return f"ScalarSubquery({self.plan!r})"
+
+
+class Exists(SubqueryExpression):
+    """``EXISTS (subquery)``, possibly correlated via outer attributes.
+
+    The reference (plain SQL) formulation of skyline queries relies on a
+    correlated ``NOT EXISTS`` (Listing 4); the optimizer rewrites
+    ``Filter(Not(Exists(..)))`` into a left-anti nested-loop join.
+    """
+
+    def __init__(self, plan: Any) -> None:
+        super().__init__(plan)
+
+    @property
+    def resolved(self) -> bool:
+        # A correlated Exists is resolved once handled by the optimizer;
+        # treat it as resolved when its plan is structurally complete.
+        return bool(getattr(self.plan, "resolved", False))
+
+    @property
+    def dtype(self) -> DataType:
+        return BOOLEAN
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def sql(self) -> str:
+        return "EXISTS (subquery)"
+
+    def __repr__(self) -> str:
+        return f"Exists({self.plan!r})"
+
+
+# ---------------------------------------------------------------------------
+# Skyline dimensions (Section 5.2)
+# ---------------------------------------------------------------------------
+
+
+class SkylineDimension(Expression):
+    """A skyline dimension: a child expression plus a MIN/MAX/DIFF kind.
+
+    Mirrors the paper's ``SkylineDimension`` which "extends the default
+    Spark Expression such that it stores both the reference to the
+    database dimension and the type"; the dimension itself is stored as
+    the child so the analyzer's generic expression-resolution machinery
+    applies to it unchanged (Section 5.2).
+    """
+
+    def __init__(self, child: Expression, kind: DimensionKind) -> None:
+        self.children = (child,)
+        self.kind = DimensionKind.of(kind)
+
+    @property
+    def child(self) -> Expression:
+        return self.children[0]
+
+    def with_children(self, children: Sequence[Expression]
+                      ) -> "SkylineDimension":
+        return SkylineDimension(children[0], self.kind)
+
+    def copy(self, child: Expression | None = None,
+             kind: DimensionKind | None = None) -> "SkylineDimension":
+        return SkylineDimension(child if child is not None else self.child,
+                                kind if kind is not None else self.kind)
+
+    @property
+    def resolved(self) -> bool:
+        if not self.child.resolved:
+            return False
+        if self.kind is DimensionKind.DIFF:
+            return True
+        return is_orderable(self.child.dtype)
+
+    @property
+    def dtype(self) -> DataType:
+        return self.child.dtype
+
+    @property
+    def nullable(self) -> bool:
+        return self.child.nullable
+
+    def sql(self) -> str:
+        return f"{self.child.sql()} {self.kind.value}"
+
+    def __repr__(self) -> str:
+        return f"SkylineDimension({self.child!r}, {self.kind.value})"
+
+
+# ---------------------------------------------------------------------------
+# Binding
+# ---------------------------------------------------------------------------
+
+
+def bind_expression(expr: Expression,
+                    input_attributes: Sequence[AttributeReference]
+                    ) -> Expression:
+    """Replace attribute references with bound (ordinal) references.
+
+    ``input_attributes`` is the output of the child physical operator, in
+    tuple order.  Matching is by ``expr_id``, never by name.
+    """
+    index_by_id = {attr.expr_id: i for i, attr in enumerate(input_attributes)}
+
+    def rebind(node: Expression) -> Expression:
+        if isinstance(node, AttributeReference):
+            try:
+                index = index_by_id[node.expr_id]
+            except KeyError:
+                raise AnalysisError(
+                    f"attribute {node!r} not found in input "
+                    f"{list(input_attributes)!r}") from None
+            return BoundReference(index, node.dtype, node.nullable, node.name)
+        return node
+
+    return expr.transform_up(rebind)

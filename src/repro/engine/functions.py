@@ -1,0 +1,84 @@
+"""Column-builder helpers for the DataFrame API.
+
+Mirrors Section 5.8 of the paper: the Scala/Java DataFrame API gains the
+functions ``smin()``, ``smax()`` and ``sdiff()``, "which each take a
+single argument that provides the skyline dimension in Spark columnar
+format".  Here a "column" is simply an expression tree; these helpers are
+the public, ergonomic way to build them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.dominance import DimensionKind
+from . import expressions as E
+
+
+def col(name: str) -> E.Expression:
+    """A column reference; accepts ``"t.name"`` qualified form."""
+    if "." in name:
+        qualifier, _, bare = name.partition(".")
+        return E.UnresolvedAttribute(bare, qualifier)
+    return E.UnresolvedAttribute(name)
+
+
+def lit(value: Any) -> E.Literal:
+    """A literal column."""
+    return E.Literal(value)
+
+
+def _as_expression(column: "E.Expression | str") -> E.Expression:
+    if isinstance(column, E.Expression):
+        return column
+    return col(column)
+
+
+def smin(column: "E.Expression | str") -> E.SkylineDimension:
+    """Mark a column as a MIN skyline dimension (lower is better)."""
+    return E.SkylineDimension(_as_expression(column), DimensionKind.MIN)
+
+
+def smax(column: "E.Expression | str") -> E.SkylineDimension:
+    """Mark a column as a MAX skyline dimension (higher is better)."""
+    return E.SkylineDimension(_as_expression(column), DimensionKind.MAX)
+
+
+def sdiff(column: "E.Expression | str") -> E.SkylineDimension:
+    """Mark a column as a DIFF skyline dimension (values must match)."""
+    return E.SkylineDimension(_as_expression(column), DimensionKind.DIFF)
+
+
+def ifnull(column: "E.Expression | str",
+           default: "E.Expression | Any") -> E.IfNull:
+    """``ifnull(column, default)``."""
+    default_expr = default if isinstance(default, E.Expression) \
+        else E.Literal(default)
+    return E.IfNull(_as_expression(column), default_expr)
+
+
+def coalesce(*columns: "E.Expression | str") -> E.Coalesce:
+    return E.Coalesce(*[_as_expression(c) for c in columns])
+
+
+def sql_min(column: "E.Expression | str") -> E.Min:
+    return E.Min(_as_expression(column))
+
+
+def sql_max(column: "E.Expression | str") -> E.Max:
+    return E.Max(_as_expression(column))
+
+
+def sql_sum(column: "E.Expression | str") -> E.Sum:
+    return E.Sum(_as_expression(column))
+
+
+def count(column: "E.Expression | str | None" = None) -> E.Count:
+    """``count(column)``, or ``count(*)`` when called without argument."""
+    if column is None:
+        return E.Count(E.Literal(1))
+    return E.Count(_as_expression(column))
+
+
+def avg(column: "E.Expression | str") -> E.Average:
+    return E.Average(_as_expression(column))

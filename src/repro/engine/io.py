@@ -1,0 +1,107 @@
+"""CSV data source.
+
+Spark "can interoperate with a great variety of data sources" and the
+paper requires the skyline integration to "work independently of the
+data source that is being used".  The engine's operators only ever see
+row tuples, so any loader satisfies that by construction; CSV is the
+one bundled here (offline-friendly, no dependencies).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import AnalysisError
+from .row import Field, Schema, infer_schema
+from .types import BOOLEAN, DOUBLE, INTEGER, STRING, DataType
+
+
+def _parse_value(text: str, dtype: DataType):
+    if text == "":
+        return None
+    if dtype == INTEGER:
+        return int(text)
+    if dtype == DOUBLE:
+        return float(text)
+    if dtype == BOOLEAN:
+        lowered = text.lower()
+        if lowered in ("true", "t", "1"):
+            return True
+        if lowered in ("false", "f", "0"):
+            return False
+        raise AnalysisError(f"invalid boolean literal {text!r}")
+    return text
+
+
+def _infer_cell(text: str):
+    """Best-effort typed parse for schema inference."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def read_csv(path: "str | Path", schema: Schema | None = None,
+             header: bool = True, delimiter: str = ","
+             ) -> tuple[Schema, list[tuple]]:
+    """Load a CSV file into ``(schema, rows)``.
+
+    With no explicit ``schema``, column types are inferred from the data
+    (int -> float -> bool -> string, empty cells are nulls) and column
+    names come from the header (or ``_c0, _c1, ...`` without one).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        raw = list(reader)
+    if not raw:
+        raise AnalysisError(f"CSV file {path} is empty")
+    if header:
+        names = [name.strip() for name in raw[0]]
+        body = raw[1:]
+    else:
+        names = [f"_c{i}" for i in range(len(raw[0]))]
+        body = raw
+    width = len(names)
+    for line_number, record in enumerate(body, start=2 if header else 1):
+        if len(record) != width:
+            raise AnalysisError(
+                f"{path}:{line_number}: expected {width} fields, "
+                f"found {len(record)}")
+    if schema is None:
+        typed = [tuple(_infer_cell(cell) for cell in record)
+                 for record in body]
+        return infer_schema(names, typed), typed
+    if len(schema) != width:
+        raise AnalysisError(
+            f"schema width {len(schema)} does not match CSV width {width}")
+    rows = []
+    for record in body:
+        rows.append(tuple(_parse_value(cell, field.dtype)
+                          for cell, field in zip(record, schema)))
+    return schema, rows
+
+
+def write_csv(path: "str | Path", schema: Schema | Sequence[str],
+              rows: Sequence[tuple], delimiter: str = ",") -> None:
+    """Write rows to CSV (nulls as empty cells); round-trips with
+    :func:`read_csv`."""
+    names = schema.names if isinstance(schema, Schema) else list(schema)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(names)
+        for row in rows:
+            writer.writerow(["" if value is None else value
+                             for value in row])

@@ -1,0 +1,135 @@
+"""Resilient-distributed-dataset stand-in.
+
+An :class:`RDD` here is simply a list of partitions (each a list of row
+tuples).  It supports the narrow and wide transformations the physical
+operators need: per-partition mapping, filtering, hash repartitioning,
+key-based repartitioning (used for the null-bitmap distribution of the
+incomplete skyline algorithm) and coalescing to a single partition (the
+``AllTuples`` distribution required by the global skyline node).
+
+Unlike Spark, transformations are eager -- the laziness/lineage machinery
+is irrelevant to the behaviours this reproduction studies; the *partition
+structure*, which drives both parallelism and the local/global skyline
+split, is faithfully preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+
+class RDD:
+    """A partitioned collection of row tuples."""
+
+    __slots__ = ("partitions",)
+
+    def __init__(self, partitions: Sequence[list[tuple]]) -> None:
+        self.partitions: list[list[tuple]] = [list(p) for p in partitions]
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[tuple],
+                  num_partitions: int = 1) -> "RDD":
+        """Distribute ``rows`` round-robin-in-chunks over partitions.
+
+        Mirrors Spark's default behaviour of splitting the input evenly
+        across the available parallelism ("if there are 10 executors for
+        10,000,000 tuples, each executor will receive roughly 1 million
+        tuples each" -- Section 5.5).
+        """
+        rows = list(rows)
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if num_partitions == 1:
+            return cls([rows])
+        size, extra = divmod(len(rows), num_partitions)
+        partitions = []
+        start = 0
+        for i in range(num_partitions):
+            end = start + size + (1 if i < extra else 0)
+            partitions.append(rows[start:end])
+            start = end
+        return cls(partitions)
+
+    @classmethod
+    def empty(cls, num_partitions: int = 1) -> "RDD":
+        return cls([[] for _ in range(max(1, num_partitions))])
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def count(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def collect(self) -> list[tuple]:
+        result: list[tuple] = []
+        for partition in self.partitions:
+            result.extend(partition)
+        return result
+
+    def iter_rows(self) -> Iterator[tuple]:
+        for partition in self.partitions:
+            yield from partition
+
+    def partition_sizes(self) -> list[int]:
+        return [len(p) for p in self.partitions]
+
+    # -- narrow transformations -----------------------------------------
+
+    def map_partitions(self, fn: Callable[[list[tuple]], list[tuple]]
+                       ) -> "RDD":
+        return RDD([fn(p) for p in self.partitions])
+
+    def map_rows(self, fn: Callable[[tuple], tuple]) -> "RDD":
+        return RDD([[fn(row) for row in p] for p in self.partitions])
+
+    def filter_rows(self, predicate: Callable[[tuple], bool]) -> "RDD":
+        return RDD([[row for row in p if predicate(row)]
+                    for p in self.partitions])
+
+    # -- wide transformations (shuffles) ----------------------------------
+
+    def coalesce_to_one(self) -> "RDD":
+        """The ``AllTuples`` distribution: everything on one partition.
+
+        The global skyline node "must ensure that all tuples from the
+        local skyline are handled by the same executor" (Section 5.5).
+        """
+        return RDD([self.collect()])
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Round-robin shuffle into ``num_partitions`` partitions."""
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        return RDD.from_rows(self.collect(), num_partitions)
+
+    def partition_by_key(self, key_fn: Callable[[tuple], Any]) -> "RDD":
+        """One partition per distinct key, in first-seen key order.
+
+        Used for the null-bitmap distribution of the incomplete skyline
+        algorithm (Section 5.7): all tuples with the same bitmap of null
+        skyline dimensions land in the same partition.
+        """
+        groups: dict[Any, list[tuple]] = {}
+        for row in self.iter_rows():
+            groups.setdefault(key_fn(row), []).append(row)
+        if not groups:
+            return RDD([[]])
+        return RDD(list(groups.values()))
+
+    def hash_partition(self, key_fn: Callable[[tuple], Any],
+                       num_partitions: int) -> "RDD":
+        """Hash shuffle by key into a fixed number of partitions."""
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        partitions: list[list[tuple]] = [[] for _ in range(num_partitions)]
+        for row in self.iter_rows():
+            partitions[hash(key_fn(row)) % num_partitions].append(row)
+        return RDD(partitions)
+
+    def __repr__(self) -> str:
+        return f"RDD(partitions={self.partition_sizes()})"

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the engine.
+
+Mirrors the kinds of errors Spark SQL raises at the corresponding pipeline
+stages: parse errors, analysis errors, planning errors, and execution errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised by the lexer or parser on malformed SQL input."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None) -> None:
+        self.position = position
+        self.line = line
+        location = ""
+        if line is not None:
+            location = f" (line {line})"
+        elif position is not None:
+            location = f" (at offset {position})"
+        super().__init__(f"{message}{location}")
+
+
+class AnalysisError(ReproError):
+    """Raised by the analyzer when a plan cannot be resolved.
+
+    Examples: unknown table, unresolvable column, aggregate misuse,
+    a skyline dimension that resolves to nothing.
+    """
+
+
+class PlanningError(ReproError):
+    """Raised when no physical plan can be produced for a logical plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised while executing a physical plan."""
+
+
+class BenchmarkTimeout(ReproError):
+    """Raised by the benchmark harness when a run exceeds its budget.
+
+    The paper marks these runs as ``t.o.`` in Appendix D; the harness
+    catches this exception and records the same marker.
+    """
+
+    def __init__(self, elapsed: float, budget: float) -> None:
+        self.elapsed = elapsed
+        self.budget = budget
+        super().__init__(
+            f"run exceeded time budget ({elapsed:.2f}s > {budget:.2f}s)")

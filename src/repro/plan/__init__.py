@@ -1,0 +1,1 @@
+"""Logical planning, analysis, optimization and physical planning."""

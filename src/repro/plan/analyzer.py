@@ -1,0 +1,639 @@
+"""The analyzer: resolves an unresolved logical plan against the catalog.
+
+Closely mirrors Spark's analyzer (Section 4, Figure 2) with the skyline
+extensions of Section 5.3:
+
+* ``ResolveMissingReferences`` gains a ``SkylineOperator`` case
+  (Listing 6): skyline dimensions not present in the final projection are
+  added to the child and trimmed back by an extra ``Project``.
+* ``ResolveAggregateFunctions`` gains a ``SkylineOperator`` case
+  (Listing 7): aggregate expressions used as skyline dimensions are
+  propagated into the ``Aggregate`` below, also through an intervening
+  HAVING ``Filter``.
+* ``PreventPrematureProjections`` (Listing 9 / Appendix B) repairs the
+  Sort-over-Filter-over-Aggregate resolution bug of stock Spark.
+
+Correlated ``EXISTS`` subqueries (needed for the plain-SQL reference
+formulation of skyline queries, Listing 4) are resolved with the outer
+plan's attributes in scope.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..engine import expressions as E
+from ..engine.catalog import Catalog
+from ..errors import AnalysisError
+from . import logical as L
+
+#: Scalar functions the analyzer knows how to resolve.
+_SCALAR_FUNCTIONS: dict[str, Callable[..., E.Expression]] = {
+    "ifnull": lambda a, b: E.IfNull(a, b),
+    "nvl": lambda a, b: E.IfNull(a, b),
+    "coalesce": lambda *args: E.Coalesce(*args),
+    "abs": lambda a: E.Abs(a),
+}
+
+_MAX_ITERATIONS = 50
+
+
+class Analyzer:
+    """Fixed-point rule executor over resolution rules."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # -- public API -----------------------------------------------------
+
+    def analyze(self, plan: L.LogicalPlan,
+                outer_scope: Sequence[E.AttributeReference] = ()
+                ) -> L.LogicalPlan:
+        """Resolve ``plan`` fully, raising AnalysisError on failure."""
+        rules = (
+            self._resolve_relations,
+            self._resolve_using_joins,
+            self._resolve_references,
+            self._resolve_functions,
+            self._resolve_subqueries,
+            self._resolve_aggregate_interactions,
+            self._prevent_premature_projections,
+            self._resolve_missing_references,
+            self._materialize_computed_dimensions,
+        )
+        for _ in range(_MAX_ITERATIONS):
+            before = L.tree_string(plan)
+            for rule in rules:
+                plan = rule(plan, tuple(outer_scope))
+            if L.tree_string(plan) == before:
+                break
+        self._validate(plan)
+        return plan
+
+    # -- rule: relation resolution -----------------------------------------
+
+    def _resolve_relations(self, plan: L.LogicalPlan,
+                           outer: tuple) -> L.LogicalPlan:
+        def rule(node: L.LogicalPlan) -> L.LogicalPlan:
+            if isinstance(node, L.UnresolvedRelation):
+                table = self.catalog.lookup(node.name)
+                return L.LogicalRelation(table)
+            return node
+
+        return plan.transform_up(rule)
+
+    # -- rule: USING joins ----------------------------------------------------
+
+    def _resolve_using_joins(self, plan: L.LogicalPlan,
+                             outer: tuple) -> L.LogicalPlan:
+        def rule(node: L.LogicalPlan) -> L.LogicalPlan:
+            if not (isinstance(node, L.Join) and node.using_columns):
+                return node
+            if not (node.left.resolved and node.right.resolved):
+                return node
+            left_out = node.left.output
+            right_out = node.right.output
+            conditions = []
+            left_keys: list[E.AttributeReference] = []
+            right_keys: list[E.AttributeReference] = []
+            for column in node.using_columns:
+                left_attr = _find_attribute(left_out, column, None)
+                right_attr = _find_attribute(right_out, column, None)
+                if left_attr is None or right_attr is None:
+                    raise AnalysisError(
+                        f"USING column {column!r} not found on both sides")
+                conditions.append(E.EqualTo(left_attr, right_attr))
+                left_keys.append(left_attr)
+                right_keys.append(right_attr)
+            joined = L.Join(node.left, node.right, node.join_type,
+                            E.conjunction(conditions))
+            if node.join_type in (L.JoinType.LEFT_SEMI, L.JoinType.LEFT_ANTI):
+                return joined
+            # Deduplicate the key columns like Spark: key columns once
+            # (taking the left side's value, coalesced for FULL OUTER),
+            # then the remaining columns of each side.
+            key_ids = {a.expr_id for a in left_keys} | {
+                a.expr_id for a in right_keys}
+            projections: list[E.Expression] = []
+            for left_attr, right_attr in zip(left_keys, right_keys):
+                if node.join_type == L.JoinType.FULL_OUTER:
+                    projections.append(E.Alias(
+                        E.Coalesce(left_attr, right_attr), left_attr.name))
+                elif node.join_type == L.JoinType.RIGHT_OUTER:
+                    projections.append(right_attr)
+                else:
+                    projections.append(left_attr)
+            for attr in joined.output:
+                if attr.expr_id not in key_ids:
+                    projections.append(attr)
+            return L.Project(projections, joined)
+
+        return plan.transform_up(rule)
+
+    # -- rule: reference resolution ------------------------------------------
+
+    def _resolve_references(self, plan: L.LogicalPlan,
+                            outer: tuple) -> L.LogicalPlan:
+        def rule(node: L.LogicalPlan) -> L.LogicalPlan:
+            if not all(c.resolved for c in node.children):
+                return node
+            node = self._expand_stars(node)
+            scope = node.input_attributes
+
+            def resolve(expr: E.Expression) -> E.Expression:
+                if isinstance(expr, E.UnresolvedAttribute):
+                    attr = _find_attribute(scope, expr.name, expr.qualifier)
+                    if attr is not None:
+                        return attr
+                    outer_attr = _find_attribute(list(outer), expr.name,
+                                                 expr.qualifier)
+                    if outer_attr is not None:
+                        return E.OuterReference(outer_attr)
+                return expr
+
+            return node.transform_expressions_up(resolve)
+
+        return plan.transform_up(rule)
+
+    def _expand_stars(self, node: L.LogicalPlan) -> L.LogicalPlan:
+        """Expand ``*`` / ``t.*`` in Project and Aggregate select lists."""
+        if isinstance(node, L.Project):
+            if not any(isinstance(p, E.UnresolvedStar)
+                       for p in node.projections):
+                return node
+            expanded: list[E.Expression] = []
+            for projection in node.projections:
+                if isinstance(projection, E.UnresolvedStar):
+                    expanded.extend(
+                        _star_attributes(node.child.output,
+                                         projection.qualifier))
+                else:
+                    expanded.append(projection)
+            return L.Project(expanded, node.child)
+        if isinstance(node, L.Aggregate):
+            if not any(isinstance(a, E.UnresolvedStar)
+                       for a in node.aggregate_expressions):
+                return node
+            raise AnalysisError("* is not allowed in an aggregate query")
+        return node
+
+    # -- rule: function resolution ----------------------------------------------
+
+    def _resolve_functions(self, plan: L.LogicalPlan,
+                           outer: tuple) -> L.LogicalPlan:
+        def rule(node: L.LogicalPlan) -> L.LogicalPlan:
+            return node.transform_expressions_up(_resolve_function_call)
+
+        return plan.transform_up(rule)
+
+    # -- rule: subquery resolution --------------------------------------------
+
+    def _resolve_subqueries(self, plan: L.LogicalPlan,
+                            outer: tuple) -> L.LogicalPlan:
+        analyzer = self
+
+        def rule(node: L.LogicalPlan) -> L.LogicalPlan:
+            if not all(c.resolved for c in node.children):
+                return node
+            scope = tuple(node.input_attributes) + outer
+
+            def resolve(expr: E.Expression) -> E.Expression:
+                if isinstance(expr, E.SubqueryExpression) and \
+                        not getattr(expr.plan, "resolved", False):
+                    resolved_plan = analyzer.analyze(expr.plan,
+                                                     outer_scope=scope)
+                    return expr.with_plan(resolved_plan)
+                return expr
+
+            return node.transform_expressions_up(resolve)
+
+        return plan.transform_up(rule)
+
+    # -- rule: aggregates referenced above an Aggregate --------------------------
+    #
+    # Implements ResolveAggregateFunctions including the skyline case of
+    # Listing 7 and the Sort/Filter/Aggregate case of Listing 10.
+
+    def _resolve_aggregate_interactions(self, plan: L.LogicalPlan,
+                                        outer: tuple) -> L.LogicalPlan:
+        def needs_pull(node: L.LogicalPlan) -> bool:
+            if not node.resolved:
+                return True
+            return any(e.contains_aggregate() for e in node.expressions())
+
+        def rule(node: L.LogicalPlan) -> L.LogicalPlan:
+            # HAVING:  Filter over Aggregate.
+            if isinstance(node, L.Filter) and \
+                    isinstance(node.child, L.Aggregate) and \
+                    node.child.resolved and needs_pull(node):
+                return self._pull_aggregates_through(
+                    node, [node.condition], node.child,
+                    lambda exprs, agg: L.Filter(exprs[0], agg))
+            # Sort over Aggregate (or over HAVING-Filter over Aggregate).
+            if isinstance(node, L.Sort) and needs_pull(node):
+                target, wrap = _aggregate_below(node.child)
+                if target is not None and target.resolved:
+                    return self._pull_aggregates_through(
+                        node, [o.child for o in node.order], target,
+                        lambda exprs, agg: node.copy(
+                            order=[o.copy(child=e) for o, e in
+                                   zip(node.order, exprs)],
+                            child=wrap(agg)))
+            # Skyline over Aggregate (Listing 7), also through HAVING.
+            if isinstance(node, L.SkylineOperator) and needs_pull(node):
+                target, wrap = _aggregate_below(node.child)
+                if target is not None and target.resolved:
+                    return self._pull_aggregates_through(
+                        node, [i.child for i in node.skyline_items], target,
+                        lambda exprs, agg: node.copy(
+                            skyline_items=[i.copy(child=e) for i, e in
+                                           zip(node.skyline_items, exprs)],
+                            child=wrap(agg)))
+            return node
+
+        return plan.transform_up(rule)
+
+    def _pull_aggregates_through(
+            self, node: L.LogicalPlan, exprs: list[E.Expression],
+            agg: L.Aggregate,
+            rebuild: Callable[[list[E.Expression], L.LogicalPlan],
+                              L.LogicalPlan]) -> L.LogicalPlan:
+        """Resolve ``exprs`` against ``agg``, extending it when needed.
+
+        The Spark pattern (``resolveOperatorWithAggregate``): expressions
+        may reference the aggregate's output aliases, its grouping
+        columns, or *new* aggregate functions that must be added to the
+        Aggregate; in the latter cases the operator is rebuilt on top of
+        an extended Aggregate and a Project trims the output back.
+        """
+        original_output = agg.output
+        extra: list[E.Alias] = []
+
+        agg_output = agg.output
+        child_scope = agg.child.output
+
+        def resolve_one(expr: E.Expression) -> E.Expression | None:
+            def step(e: E.Expression) -> E.Expression:
+                if isinstance(e, E.UnresolvedAttribute):
+                    found = _find_attribute(agg_output, e.name, e.qualifier)
+                    if found is not None:
+                        return found
+                    found = _find_attribute(child_scope, e.name, e.qualifier)
+                    if found is not None:
+                        return found
+                return e
+
+            resolved = expr.transform_up(step)
+            resolved = resolved.transform_up(_resolve_function_call)
+
+            def lift(e: E.Expression) -> E.Expression:
+                if isinstance(e, E.AggregateFunction):
+                    if not e.resolved:
+                        return e
+                    # Reuse an existing identical aggregate output.
+                    for existing in agg.aggregate_expressions:
+                        if isinstance(existing, E.Alias) and \
+                                isinstance(existing.child,
+                                           E.AggregateFunction) and \
+                                existing.child.sql() == e.sql():
+                            return existing.to_attribute()
+                    for added in extra:
+                        if added.child.sql() == e.sql():
+                            return added.to_attribute()
+                    alias = E.Alias(e, e.sql())
+                    extra.append(alias)
+                    return alias.to_attribute()
+                return e
+
+            lifted = resolved.transform_up(lift)
+            # Any reference to the aggregate child that is neither a
+            # grouping column nor an aggregate output must be lifted via
+            # grouping passthrough; only legal if it IS a grouping expr.
+            agg_ids = {a.expr_id for a in agg_output} | {
+                a.expr_id for alias in extra
+                for a in [alias.to_attribute()]}
+            grouping_refs = {
+                g.expr_id for g in agg.grouping_expressions
+                if isinstance(g, E.AttributeReference)}
+            for ref in lifted.references():
+                if ref.expr_id in agg_ids:
+                    continue
+                if ref.expr_id in grouping_refs:
+                    alias = E.Alias(ref, ref.name)
+                    extra.append(alias)
+                    replacement = alias.to_attribute()
+
+                    def swap(e: E.Expression,
+                             target=ref, new=replacement) -> E.Expression:
+                        if isinstance(e, E.AttributeReference) and \
+                                e.expr_id == target.expr_id:
+                            return new
+                        return e
+
+                    lifted = lifted.transform_up(swap)
+                    continue
+                return None  # cannot resolve here; leave for other rules
+            return lifted
+
+        new_exprs: list[E.Expression] = []
+        for expr in exprs:
+            resolved = resolve_one(expr)
+            if resolved is None:
+                return node
+            new_exprs.append(resolved)
+        if not extra:
+            rebuilt = rebuild(new_exprs, agg)
+            return rebuilt
+        extended = agg.copy(
+            aggregates=list(agg.aggregate_expressions) + extra)
+        rebuilt = rebuild(new_exprs, extended)
+        return L.Project(original_output, rebuilt)
+
+    # -- rule: PreventPrematureProjections (Appendix B, Listing 9) ----------------
+
+    def _prevent_premature_projections(self, plan: L.LogicalPlan,
+                                       outer: tuple) -> L.LogicalPlan:
+        def rule(node: L.LogicalPlan) -> L.LogicalPlan:
+            if not (isinstance(node, (L.Sort, L.SkylineOperator))
+                    and not node.resolved):
+                return node
+            child = node.children[0]
+            if not (isinstance(child, L.Project) and
+                    isinstance(child.child, L.Filter) and
+                    isinstance(child.child.child, L.Aggregate)):
+                return node
+            project, filter_node = child, child.child
+            if not (filter_node.resolved and filter_node.child.resolved):
+                return node
+            # Retry resolution with the Project removed; if that helps,
+            # reintroduce the Project on top (Listing 9).
+            without_project = node.with_children([filter_node])
+            retried = self._resolve_aggregate_interactions(without_project,
+                                                           outer)
+            if L.tree_string(retried) != L.tree_string(without_project):
+                return L.Project(project.projections, retried)
+            return node
+
+        return plan.transform_up(rule)
+
+    # -- rule: ResolveMissingReferences (Listing 6) -------------------------------
+
+    def _resolve_missing_references(self, plan: L.LogicalPlan,
+                                    outer: tuple) -> L.LogicalPlan:
+        def rule(node: L.LogicalPlan) -> L.LogicalPlan:
+            if not isinstance(node, (L.Sort, L.SkylineOperator)):
+                return node
+            if node.resolved or not node.children[0].resolved:
+                return node
+            child = node.children[0]
+            exprs = node.expressions()
+            new_exprs, new_child = _resolve_exprs_adding_missing(
+                exprs, child)
+            if new_exprs is None:
+                return node
+            if isinstance(node, L.SkylineOperator):
+                dimensions = [e if isinstance(e, E.SkylineDimension)
+                              else i.copy(child=e)
+                              for i, e in zip(node.skyline_items, new_exprs)]
+                if [a.expr_id for a in child.output] == \
+                        [a.expr_id for a in new_child.output]:
+                    return node.copy(skyline_items=dimensions)
+                new_skyline = node.copy(skyline_items=dimensions,
+                                        child=new_child)
+                return L.Project(child.output, new_skyline)
+            # Sort case
+            new_order = [o.copy(child=e) if not isinstance(e, L.SortOrder)
+                         else e for o, e in zip(node.order, new_exprs)]
+            if [a.expr_id for a in child.output] == \
+                    [a.expr_id for a in new_child.output]:
+                return node.copy(order=new_order)
+            new_sort = node.copy(order=new_order, child=new_child)
+            return L.Project(child.output, new_sort)
+
+        return plan.transform_up(rule)
+
+    # -- rule: materialize computed skyline dimensions ----------------------------
+
+    def _materialize_computed_dimensions(self, plan: L.LogicalPlan,
+                                         outer: tuple) -> L.LogicalPlan:
+        """Turn expression-valued skyline dimensions into child columns.
+
+        ``SKYLINE OF price / quality MIN`` is legal syntax (the paper:
+        a dimension "is usually a column but can also be a more complex
+        Expression"); the physical skyline nodes compare tuple ordinals,
+        so computed dimensions are evaluated once in a projection below
+        the operator and trimmed back above it.
+        """
+
+        def rule(node: L.LogicalPlan) -> L.LogicalPlan:
+            if not (isinstance(node, L.SkylineOperator) and node.resolved):
+                return node
+            if all(isinstance(i.child, E.AttributeReference)
+                   for i in node.skyline_items):
+                return node
+            child = node.children[0]
+            extra: list[E.Alias] = []
+            new_items = []
+            for item in node.skyline_items:
+                if isinstance(item.child, E.AttributeReference):
+                    new_items.append(item)
+                    continue
+                alias = E.Alias(item.child,
+                                f"_skyline_dim_{len(extra)}")
+                extra.append(alias)
+                new_items.append(item.copy(child=alias.to_attribute()))
+            widened = L.Project(list(child.output) + extra, child)
+            new_skyline = node.copy(skyline_items=new_items, child=widened)
+            return L.Project(child.output, new_skyline)
+
+        return plan.transform_up(rule)
+
+    # -- validation ----------------------------------------------------------------
+
+    def _validate(self, plan: L.LogicalPlan) -> None:
+        for node in plan.iter_tree():
+            if isinstance(node, L.UnresolvedRelation):
+                raise AnalysisError(f"table or view not found: {node.name}")
+            if not node.resolved:
+                unresolved = [e.sql() for e in node.expressions()
+                              if not e.resolved]
+                missing = {r.name for r in node.missing_input}
+                detail = ""
+                if unresolved:
+                    detail = f"; unresolved expressions: {unresolved}"
+                elif missing:
+                    detail = f"; missing input columns: {sorted(missing)}"
+                raise AnalysisError(
+                    f"plan failed to resolve at node "
+                    f"{node.node_description()}{detail}")
+            if isinstance(node, L.Aggregate):
+                self._validate_aggregate(node)
+
+    def _validate_aggregate(self, agg: L.Aggregate) -> None:
+        grouping_ids = {g.expr_id for g in agg.grouping_expressions
+                        if isinstance(g, E.AttributeReference)}
+        grouping_sql = {g.sql() for g in agg.grouping_expressions}
+        for expr in agg.aggregate_expressions:
+            self._check_grouping(expr, grouping_ids, grouping_sql)
+
+    def _check_grouping(self, expr: E.Expression, grouping_ids: set,
+                        grouping_sql: set) -> None:
+        if isinstance(expr, E.AggregateFunction):
+            return  # everything below an aggregate is fine
+        if isinstance(expr, E.AttributeReference):
+            if expr.expr_id not in grouping_ids and \
+                    expr.sql() not in grouping_sql:
+                raise AnalysisError(
+                    f"column {expr.name!r} must appear in GROUP BY or be "
+                    f"wrapped in an aggregate function")
+            return
+        if expr.sql() in grouping_sql:
+            return
+        for child in expr.children:
+            self._check_grouping(child, grouping_ids, grouping_sql)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _resolve_function_call(expr: E.Expression) -> E.Expression:
+    """Turn a resolved-argument UnresolvedFunction into a typed function."""
+    if not isinstance(expr, E.UnresolvedFunction):
+        return expr
+    if any(isinstance(a, (E.UnresolvedAttribute, E.UnresolvedStar))
+           for arg in expr.children for a in arg.iter_tree()):
+        return expr  # wait until arguments are resolved
+    name = expr.name
+    if name in E.AGGREGATE_FUNCTIONS:
+        if len(expr.children) != 1:
+            raise AnalysisError(
+                f"aggregate {name} expects exactly one argument")
+        return E.AGGREGATE_FUNCTIONS[name](expr.children[0],
+                                           expr.is_distinct)
+    if name in _SCALAR_FUNCTIONS:
+        try:
+            return _SCALAR_FUNCTIONS[name](*expr.children)
+        except TypeError:
+            raise AnalysisError(
+                f"wrong number of arguments for {name}()") from None
+    raise AnalysisError(f"undefined function: {name}")
+
+
+def _find_attribute(scope: Sequence[E.AttributeReference], name: str,
+                    qualifier: str | None) -> E.AttributeReference | None:
+    """Case-insensitive attribute lookup; raises on ambiguity."""
+    name_l = name.lower()
+    matches = []
+    for attr in scope:
+        if attr.name.lower() != name_l:
+            continue
+        if qualifier is not None:
+            if attr.qualifier is None or \
+                    attr.qualifier.lower() != qualifier.lower():
+                continue
+        matches.append(attr)
+    if not matches:
+        return None
+    distinct_ids = {a.expr_id for a in matches}
+    if len(distinct_ids) > 1:
+        display = f"{qualifier}.{name}" if qualifier else name
+        raise AnalysisError(f"reference {display!r} is ambiguous")
+    return matches[0]
+
+
+def _star_attributes(scope: Sequence[E.AttributeReference],
+                     qualifier: str | None) -> list[E.AttributeReference]:
+    if qualifier is None:
+        return list(scope)
+    result = [a for a in scope
+              if a.qualifier and a.qualifier.lower() == qualifier.lower()]
+    if not result:
+        raise AnalysisError(f"cannot expand {qualifier}.*: unknown qualifier")
+    return result
+
+
+def _aggregate_below(plan: L.LogicalPlan
+                     ) -> tuple[L.Aggregate | None,
+                                Callable[[L.LogicalPlan], L.LogicalPlan]]:
+    """Find an Aggregate directly below, possibly through a HAVING Filter.
+
+    Returns the aggregate and a function re-wrapping a replacement
+    aggregate with the intervening nodes.
+    """
+    if isinstance(plan, L.Aggregate):
+        return plan, lambda agg: agg
+    if isinstance(plan, L.Filter) and isinstance(plan.child, L.Aggregate):
+        condition = plan.condition
+        return plan.child, lambda agg: L.Filter(condition, agg)
+    return None, lambda agg: agg
+
+
+def _resolve_exprs_adding_missing(
+        exprs: list[E.Expression], child: L.LogicalPlan
+) -> tuple[list[E.Expression] | None, L.LogicalPlan]:
+    """Spark's ``resolveExprsAndAddMissingAttrs`` for our plan shapes.
+
+    Attempts to resolve unresolved attributes in ``exprs`` against
+    descendants of ``child``; when an attribute is found below a Project,
+    the Project is extended to pass it through.  Returns ``(None, child)``
+    if nothing could be improved.
+    """
+    inner_scopes: list[tuple[L.LogicalPlan, list[E.AttributeReference]]] = []
+
+    def gather(plan: L.LogicalPlan) -> None:
+        if isinstance(plan, L.Project):
+            inner_scopes.append((plan, plan.child.output))
+            gather(plan.child)
+        elif isinstance(plan, (L.Filter, L.Distinct, L.SubqueryAlias,
+                               L.Sort, L.Limit)):
+            gather(plan.children[0])
+
+    gather(child)
+    if not inner_scopes:
+        return None, child
+
+    needed: list[E.AttributeReference] = []
+    child_ids = {a.expr_id for a in child.output}
+
+    def resolve(expr: E.Expression) -> E.Expression:
+        if isinstance(expr, E.UnresolvedAttribute):
+            for _, scope in inner_scopes:
+                attr = _find_attribute(scope, expr.name, expr.qualifier)
+                if attr is not None:
+                    if attr.expr_id not in child_ids and \
+                            all(attr.expr_id != n.expr_id for n in needed):
+                        needed.append(attr)
+                    return attr
+        return expr
+
+    new_exprs = [e.transform_up(resolve) for e in exprs]
+    # Also handle already-resolved references that the child output lacks.
+    for expr in new_exprs:
+        for ref in expr.references():
+            if ref.expr_id not in child_ids and \
+                    all(ref.expr_id != n.expr_id for n in needed):
+                for _, scope in inner_scopes:
+                    if any(a.expr_id == ref.expr_id for a in scope):
+                        needed.append(ref)
+                        break
+    if not needed:
+        changed = any(n is not o for n, o in zip(new_exprs, exprs))
+        return (new_exprs, child) if changed else (None, child)
+
+    def extend(plan: L.LogicalPlan) -> L.LogicalPlan:
+        if isinstance(plan, L.Project):
+            below = plan.child.output
+            additions = [n for n in needed
+                         if any(a.expr_id == n.expr_id for a in below)
+                         and all(a.expr_id != n.expr_id
+                                 for a in plan.output)]
+            new_child = extend(plan.child)
+            return L.Project(list(plan.projections) + additions, new_child)
+        if isinstance(plan, (L.Filter, L.Distinct, L.SubqueryAlias, L.Sort,
+                             L.Limit)):
+            return plan.with_children([extend(plan.children[0])])
+        return plan
+
+    return new_exprs, extend(child)

@@ -1,0 +1,910 @@
+"""Physical operators.
+
+Each operator consumes and produces an :class:`~repro.engine.rdd.RDD`
+of row tuples, recording per-partition task metrics in the
+:class:`~repro.engine.cluster.ExecutionContext` so the simulated cluster
+can derive distributed execution times and memory peaks.
+
+The skyline operators implement the two-node split of Section 5.5: a
+*local* node that runs on every partition in parallel and a *global*
+node that requires the ``AllTuples`` distribution (one partition).  For
+incomplete data the local node uses the null-bitmap distribution of
+Section 5.7 and the global node uses flag-based all-pairs testing.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from typing import Any, Callable, Sequence
+
+from ..core.bnl import bnl_skyline
+from ..core.dominance import (BoundDimension, DominanceStats,
+                              dominates_incomplete, null_bitmap)
+from ..core.incomplete import flagged_global_skyline
+from ..core.sfs import sfs_skyline
+from ..engine import expressions as E
+from ..engine.cluster import ExecutionContext
+from ..engine.rdd import RDD
+from ..errors import ExecutionError
+from . import logical as L
+
+_node_ids = itertools.count(1)
+
+
+class PhysicalScalarSubquery(E.LeafExpression):
+    """A scalar subquery lowered to a physical plan.
+
+    The planner substitutes these for
+    :class:`~repro.engine.expressions.ScalarSubquery`; ``prepare`` runs
+    the subplan once per query execution and caches the single value.
+    """
+
+    def __init__(self, plan: "PhysicalPlan") -> None:
+        self.plan = plan
+        self._value: Any = None
+        self._prepared = False
+
+    @property
+    def resolved(self) -> bool:
+        return True
+
+    @property
+    def dtype(self):
+        output = self.plan.output
+        return output[0].dtype
+
+    def prepare(self, ctx: ExecutionContext) -> None:
+        if self._prepared:
+            return
+        rows = self.plan.execute(ctx).collect()
+        if len(rows) > 1:
+            raise ExecutionError(
+                f"scalar subquery returned {len(rows)} rows")
+        self._value = rows[0][0] if rows else None
+        self._prepared = True
+
+    def eval(self, row: tuple) -> Any:
+        if not self._prepared:
+            raise ExecutionError("scalar subquery evaluated before prepare")
+        return self._value
+
+    def __repr__(self) -> str:
+        return "PhysicalScalarSubquery(...)"
+
+
+def _prepare_subqueries(expr: E.Expression, ctx: ExecutionContext) -> None:
+    for node in expr.iter_tree():
+        if isinstance(node, PhysicalScalarSubquery):
+            node.prepare(ctx)
+
+
+class PhysicalPlan:
+    """Base class of physical operators."""
+
+    children: tuple["PhysicalPlan", ...] = ()
+
+    def __init__(self) -> None:
+        self.node_id = next(_node_ids)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        raise NotImplementedError
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        raise NotImplementedError
+
+    def stage_name(self, suffix: str = "") -> str:
+        base = f"{type(self).__name__}-{self.node_id}"
+        return f"{base}{suffix}"
+
+    def iter_tree(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    def __repr__(self) -> str:
+        return physical_tree_string(self)
+
+    def node_description(self) -> str:
+        return type(self).__name__
+
+
+def physical_tree_string(plan: PhysicalPlan, indent: int = 0) -> str:
+    lines = ["  " * indent + plan.node_description()]
+    for child in plan.children:
+        lines.append(physical_tree_string(child, indent + 1))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+
+class ScanExec(PhysicalPlan):
+    """Read a catalog table, split over the default parallelism."""
+
+    def __init__(self, rows: list[tuple],
+                 output: list[E.AttributeReference],
+                 description: str = "scan") -> None:
+        super().__init__()
+        self.rows = rows
+        self._output = output
+        self.description = description
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return list(self._output)
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        num_partitions = ctx.config.default_parallelism
+        rdd = RDD.from_rows(self.rows, num_partitions)
+        stage = self.stage_name()
+        for i, partition in enumerate(rdd.partitions):
+            rows = partition
+            ctx.run_task(stage, i, lambda rows=rows: rows, len(rows))
+        return rdd
+
+    def node_description(self) -> str:
+        return f"Scan({self.description}, {len(self.rows)} rows)"
+
+
+# ---------------------------------------------------------------------------
+# Row-at-a-time operators
+# ---------------------------------------------------------------------------
+
+
+class FilterExec(PhysicalPlan):
+    def __init__(self, condition: E.Expression, child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.condition = E.bind_expression(condition, child.output)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        _prepare_subqueries(self.condition, ctx)
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        predicate = self.condition.eval
+        result = []
+        for i, partition in enumerate(child_rdd.partitions):
+            def task(rows=partition):
+                return [row for row in rows if predicate(row) is True]
+            result.append(ctx.run_task(stage, i, task, len(partition)))
+        return RDD(result)
+
+    def node_description(self) -> str:
+        return f"Filter({self.condition!r})"
+
+
+class ProjectExec(PhysicalPlan):
+    def __init__(self, projections: Sequence[E.Expression],
+                 child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self._output = [E.named_output(p) for p in projections]
+        self.projections = [E.bind_expression(p, child.output)
+                            for p in projections]
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return list(self._output)
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        for projection in self.projections:
+            _prepare_subqueries(projection, ctx)
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        evaluators = [p.eval for p in self.projections]
+        result = []
+        for i, partition in enumerate(child_rdd.partitions):
+            def task(rows=partition):
+                return [tuple(ev(row) for ev in evaluators) for row in rows]
+            result.append(ctx.run_task(stage, i, task, len(partition)))
+        return RDD(result)
+
+
+class LimitExec(PhysicalPlan):
+    def __init__(self, limit: int, child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.limit = limit
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        rows = child_rdd.collect()[:self.limit]
+        stage = self.stage_name()
+        ctx.stage(stage, parallelizable=False)
+        ctx.run_task(stage, 0, lambda: rows, len(rows),
+                     parallelizable=False)
+        return RDD([rows])
+
+
+class DistinctExec(PhysicalPlan):
+    def __init__(self, child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        ctx.record_shuffle(stage, child_rdd.count())
+
+        def task():
+            seen: set = set()
+            result = []
+            for row in child_rdd.iter_rows():
+                if row not in seen:
+                    seen.add(row)
+                    result.append(row)
+            return result
+
+        rows = ctx.run_task(stage, 0, task, child_rdd.count(),
+                            parallelizable=False)
+        return RDD([rows])
+
+
+class SortExec(PhysicalPlan):
+    def __init__(self, order: Sequence[L.SortOrder],
+                 child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.order = [o.copy(child=E.bind_expression(o.child, child.output))
+                      for o in order]
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        ctx.record_shuffle(stage, child_rdd.count())
+        comparator = _build_comparator(self.order)
+
+        def task():
+            return sorted(child_rdd.collect(),
+                          key=functools.cmp_to_key(comparator))
+
+        rows = ctx.run_task(stage, 0, task, child_rdd.count(),
+                            parallelizable=False)
+        return RDD([rows])
+
+
+def _build_comparator(order: Sequence[L.SortOrder]
+                      ) -> Callable[[tuple, tuple], int]:
+    def comparator(a: tuple, b: tuple) -> int:
+        for spec in order:
+            av = spec.child.eval(a)
+            bv = spec.child.eval(b)
+            if av is None and bv is None:
+                continue
+            if av is None:
+                return -1 if spec.nulls_first else 1
+            if bv is None:
+                return 1 if spec.nulls_first else -1
+            if av == bv:
+                continue
+            result = -1 if av < bv else 1
+            return result if spec.ascending else -result
+        return 0
+
+    return comparator
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class HashAggregateExec(PhysicalPlan):
+    """Hash aggregation over grouping keys.
+
+    The output expressions may be arbitrary trees over grouping
+    expressions and aggregate functions; they are rewritten onto an
+    internal layout ``(grouping values..., aggregate results...)`` and
+    evaluated per group.
+    """
+
+    def __init__(self, grouping: Sequence[E.Expression],
+                 aggregates: Sequence[E.Expression],
+                 child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self._output = [E.named_output(a) for a in aggregates]
+        self.grouping = [E.bind_expression(g, child.output)
+                         for g in grouping]
+        self._grouping_sql = [g.sql() for g in grouping]
+
+        # Collect distinct aggregate functions appearing in the output.
+        agg_functions: list[E.AggregateFunction] = []
+        agg_sql: list[str] = []
+        for expr in aggregates:
+            for node in expr.iter_tree():
+                if isinstance(node, E.AggregateFunction) and \
+                        node.sql() not in agg_sql:
+                    agg_sql.append(node.sql())
+                    agg_functions.append(node)
+        self.agg_functions = [
+            type(f)(E.bind_expression(f.child, child.output), f.is_distinct)
+            for f in agg_functions]
+        self._agg_sql = agg_sql
+
+        # Rewrite output expressions onto the internal layout.
+        internal_width = len(grouping) + len(agg_sql)
+        self.result_exprs = [
+            self._rewrite_output(expr, grouping, internal_width)
+            for expr in aggregates]
+
+    def _rewrite_output(self, expr: E.Expression,
+                        grouping: Sequence[E.Expression],
+                        width: int) -> E.Expression:
+        grouping_sql = self._grouping_sql
+        agg_sql = self._agg_sql
+
+        def step(node: E.Expression) -> E.Expression:
+            if isinstance(node, E.AggregateFunction):
+                index = len(grouping_sql) + agg_sql.index(node.sql())
+                return E.BoundReference(index, node.dtype, True)
+            if isinstance(node, E.AttributeReference):
+                # Must be a grouping column.
+                for i, g in enumerate(grouping):
+                    if isinstance(g, E.AttributeReference) and \
+                            g.expr_id == node.expr_id:
+                        return E.BoundReference(i, node.dtype, node.nullable)
+                raise ExecutionError(
+                    f"non-grouping attribute {node!r} in aggregate output")
+            if node.sql() in grouping_sql:
+                index = grouping_sql.index(node.sql())
+                return E.BoundReference(index, node.dtype, True)
+            return node
+
+        def rewrite(node: E.Expression) -> E.Expression:
+            replaced = step(node)
+            if replaced is not node:
+                return replaced
+            if node.children:
+                return node.with_children(
+                    [rewrite(c) for c in node.children])
+            return node
+
+        return rewrite(expr)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return list(self._output)
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        ctx.record_shuffle(stage, child_rdd.count())
+        grouping_evals = [g.eval for g in self.grouping]
+        functions = self.agg_functions
+
+        def task():
+            groups: dict[tuple, list[Any]] = {}
+            for row in child_rdd.iter_rows():
+                key = tuple(ev(row) for ev in grouping_evals)
+                state = groups.get(key)
+                if state is None:
+                    state = [f.initial() for f in functions]
+                    groups[key] = state
+                for i, f in enumerate(functions):
+                    state[i] = f.update(state[i], f.child.eval(row))
+            if not groups and not self.grouping:
+                # Global aggregate over the empty input: one null row
+                # (count() handles its own zero via initial()).
+                groups[()] = [f.initial() for f in functions]
+            result = []
+            for key, state in groups.items():
+                internal = key + tuple(
+                    f.result(acc) for f, acc in zip(functions, state))
+                result.append(tuple(expr.eval(internal)
+                                    for expr in self.result_exprs))
+            return result
+
+        rows = ctx.run_task(stage, 0, task, child_rdd.count(),
+                            parallelizable=False)
+        return RDD([rows])
+
+    def node_description(self) -> str:
+        keys = ", ".join(self._grouping_sql)
+        return f"HashAggregate(keys=[{keys}])"
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+class HashJoinExec(PhysicalPlan):
+    """Equi-join via a broadcast hash table on the right side."""
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan,
+                 join_type: str,
+                 left_keys: Sequence[E.Expression],
+                 right_keys: Sequence[E.Expression],
+                 residual: E.Expression | None,
+                 output: list[E.AttributeReference]) -> None:
+        super().__init__()
+        self.children = (left, right)
+        self.join_type = join_type
+        self.left_keys = [E.bind_expression(k, left.output)
+                          for k in left_keys]
+        self.right_keys = [E.bind_expression(k, right.output)
+                           for k in right_keys]
+        combined = list(left.output) + list(right.output)
+        self.residual = E.bind_expression(residual, combined) \
+            if residual is not None else None
+        self._output = output
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return list(self._output)
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        left_rdd = self.children[0].execute(ctx)
+        right_rdd = self.children[1].execute(ctx)
+        stage = self.stage_name()
+        right_rows = right_rdd.collect()
+        ctx.record_shuffle(stage, len(right_rows))
+
+        table: dict[tuple, list[tuple]] = {}
+        for row in right_rows:
+            key = tuple(k.eval(row) for k in self.right_keys)
+            if any(v is None for v in key):
+                continue  # null keys never match
+            table.setdefault(key, []).append(row)
+
+        right_width = len(self.children[1].output)
+        left_width = len(self.children[0].output)
+        null_right = (None,) * right_width
+        null_left = (None,) * left_width
+        residual = self.residual
+        join_type = self.join_type
+        matched_right: set[int] = set()
+        right_index = {id(row): i for i, row in enumerate(right_rows)}
+
+        result_partitions = []
+        for i, partition in enumerate(left_rdd.partitions):
+            def task(rows=partition):
+                out = []
+                for left_row in rows:
+                    key = tuple(k.eval(left_row) for k in self.left_keys)
+                    matches = [] if any(v is None for v in key) \
+                        else table.get(key, [])
+                    kept = []
+                    for right_row in matches:
+                        combined = left_row + right_row
+                        if residual is not None and \
+                                residual.eval(combined) is not True:
+                            continue
+                        kept.append(right_row)
+                        if join_type == L.JoinType.FULL_OUTER:
+                            matched_right.add(right_index[id(right_row)])
+                    if join_type == L.JoinType.LEFT_SEMI:
+                        if kept:
+                            out.append(left_row)
+                    elif join_type == L.JoinType.LEFT_ANTI:
+                        if not kept:
+                            out.append(left_row)
+                    elif kept:
+                        out.extend(left_row + r for r in kept)
+                    elif join_type in (L.JoinType.LEFT_OUTER,
+                                       L.JoinType.FULL_OUTER):
+                        out.append(left_row + null_right)
+                return out
+
+            result_partitions.append(
+                ctx.run_task(stage, i, task, len(partition)))
+
+        if join_type == L.JoinType.RIGHT_OUTER:
+            return self._right_outer(ctx, left_rdd, right_rows, stage)
+        if join_type == L.JoinType.FULL_OUTER:
+            tail = [null_left + row for i, row in enumerate(right_rows)
+                    if i not in matched_right]
+            if tail:
+                result_partitions.append(tail)
+        return RDD(result_partitions)
+
+    def _right_outer(self, ctx: ExecutionContext, left_rdd: RDD,
+                     right_rows: list[tuple], stage: str) -> RDD:
+        """Right outer join: probe from the right side instead."""
+        left_rows = left_rdd.collect()
+        table: dict[tuple, list[tuple]] = {}
+        for row in left_rows:
+            key = tuple(k.eval(row) for k in self.left_keys)
+            if any(v is None for v in key):
+                continue
+            table.setdefault(key, []).append(row)
+        null_left = (None,) * len(self.children[0].output)
+        residual = self.residual
+
+        def task():
+            out = []
+            for right_row in right_rows:
+                key = tuple(k.eval(right_row) for k in self.right_keys)
+                matches = [] if any(v is None for v in key) \
+                    else table.get(key, [])
+                kept = []
+                for left_row in matches:
+                    combined = left_row + right_row
+                    if residual is not None and \
+                            residual.eval(combined) is not True:
+                        continue
+                    kept.append(left_row)
+                if kept:
+                    out.extend(l + right_row for l in kept)
+                else:
+                    out.append(null_left + right_row)
+            return out
+
+        rows = ctx.run_task(stage + "-right", 0, task, len(right_rows),
+                            parallelizable=False)
+        return RDD([rows])
+
+    def node_description(self) -> str:
+        return f"HashJoin({self.join_type})"
+
+
+class BroadcastNestedLoopJoinExec(PhysicalPlan):
+    """Nested-loop join for non-equi conditions.
+
+    This is the operator Spark falls back to for the correlated
+    ``NOT EXISTS`` dominance predicate of the plain-SQL skyline rewrite:
+    every left row scans the broadcast right side -- quadratic work, the
+    root cause of the reference algorithm's poor scaling.
+    """
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan,
+                 join_type: str, condition: E.Expression | None,
+                 output: list[E.AttributeReference]) -> None:
+        super().__init__()
+        self.children = (left, right)
+        self.join_type = join_type
+        combined = list(left.output) + list(right.output)
+        self.condition = E.bind_expression(condition, combined) \
+            if condition is not None else None
+        self._output = output
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return list(self._output)
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        left_rdd = self.children[0].execute(ctx)
+        right_rdd = self.children[1].execute(ctx)
+        stage = self.stage_name()
+        right_rows = right_rdd.collect()
+        ctx.record_shuffle(stage, len(right_rows) * max(
+            1, left_rdd.num_partitions))
+        condition = self.condition
+        join_type = self.join_type
+        null_right = (None,) * len(self.children[1].output)
+
+        result_partitions = []
+        for i, partition in enumerate(left_rdd.partitions):
+            def task(rows=partition):
+                out = []
+                tick = 0
+                for left_row in rows:
+                    tick += 1
+                    if tick % 64 == 0:
+                        ctx.check_deadline()
+                    matched = False
+                    collected = []
+                    for right_row in right_rows:
+                        if condition is None:
+                            passes = True
+                        else:
+                            passes = condition.eval(
+                                left_row + right_row) is True
+                        if passes:
+                            matched = True
+                            if join_type in (L.JoinType.LEFT_SEMI,
+                                             L.JoinType.LEFT_ANTI):
+                                break
+                            collected.append(left_row + right_row)
+                    if join_type == L.JoinType.LEFT_SEMI:
+                        if matched:
+                            out.append(left_row)
+                    elif join_type == L.JoinType.LEFT_ANTI:
+                        if not matched:
+                            out.append(left_row)
+                    elif collected:
+                        out.extend(collected)
+                    elif join_type == L.JoinType.LEFT_OUTER:
+                        out.append(left_row + null_right)
+                return out
+
+            result_partitions.append(
+                ctx.run_task(stage, i, task, len(partition)))
+        return RDD(result_partitions)
+
+    def node_description(self) -> str:
+        return f"BroadcastNestedLoopJoin({self.join_type})"
+
+
+# ---------------------------------------------------------------------------
+# Skyline operators (Section 5.5 - 5.7)
+# ---------------------------------------------------------------------------
+
+
+def _bind_dimensions(items: Sequence[E.SkylineDimension],
+                     input_attributes: Sequence[E.AttributeReference]
+                     ) -> list[BoundDimension]:
+    """Bind skyline dimensions to tuple ordinals.
+
+    Every dimension must resolve to a direct attribute of the child
+    output; the analyzer guarantees this by materialising computed
+    dimensions (aggregates etc.) as child columns first.
+    """
+    index_by_id = {a.expr_id: i for i, a in enumerate(input_attributes)}
+    dims: list[BoundDimension] = []
+    for item in items:
+        child = item.child
+        if isinstance(child, E.Alias):
+            child = child.to_attribute()
+        if not isinstance(child, E.AttributeReference):
+            raise ExecutionError(
+                f"skyline dimension {item.sql()} did not resolve to a "
+                f"column; the analyzer should have materialised it")
+        try:
+            index = index_by_id[child.expr_id]
+        except KeyError:
+            raise ExecutionError(
+                f"skyline dimension {item.sql()} not present in child "
+                f"output") from None
+        dims.append(BoundDimension(index, item.kind))
+    return dims
+
+
+class SkylineLocalExec(PhysicalPlan):
+    """Local (per-partition) BNL skyline -- the distributed stage.
+
+    Keeps the child's partitioning ("to avoid unnecessary communication
+    cost, we refrain from overriding Spark's partitioning mechanism",
+    Section 2); each partition's window survivors feed the global node.
+    """
+
+    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
+                 child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.items = list(items)
+        self.distinct = distinct
+        self.dims = _bind_dimensions(items, child.output)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        dims = self.dims
+        result = []
+        for i, partition in enumerate(child_rdd.partitions):
+            def task(rows=partition):
+                stats = DominanceStats()
+                skyline = bnl_skyline(rows, dims, distinct=self.distinct,
+                                      stats=stats,
+                                      check_deadline=ctx.check_deadline)
+                ctx.dominance_comparisons += stats.comparisons
+                return skyline, stats.window_peak
+            result.append(ctx.run_task(stage, i, task, len(partition)))
+        return RDD(result)
+
+    def node_description(self) -> str:
+        dims = ", ".join(i.sql() for i in self.items)
+        return f"SkylineLocal(BNL, [{dims}])"
+
+
+class SkylineGlobalCompleteExec(PhysicalPlan):
+    """Global BNL skyline under the ``AllTuples`` distribution."""
+
+    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
+                 child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.items = list(items)
+        self.distinct = distinct
+        self.dims = _bind_dimensions(items, child.output)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        rows = child_rdd.collect()
+        ctx.record_shuffle(stage, len(rows))
+        dims = self.dims
+
+        def task():
+            stats = DominanceStats()
+            skyline = bnl_skyline(rows, dims, distinct=self.distinct,
+                                  stats=stats,
+                                  check_deadline=ctx.check_deadline)
+            ctx.dominance_comparisons += stats.comparisons
+            return skyline, stats.window_peak
+
+        result = ctx.run_task(stage, 0, task, len(rows),
+                              parallelizable=False)
+        return RDD([result])
+
+    def node_description(self) -> str:
+        dims = ", ".join(i.sql() for i in self.items)
+        return f"SkylineGlobalComplete(BNL, [{dims}])"
+
+
+class SkylineLocalIncompleteExec(PhysicalPlan):
+    """Local skylines under the null-bitmap distribution (Section 5.7).
+
+    The child's rows are re-distributed so that all tuples sharing a
+    bitmap of null skyline dimensions land in the same partition (crafted
+    "via the integrated distribution of the nodes ... using the
+    predefined IsNull() method"); BNL with the incomplete dominance test
+    is then safe per partition.
+    """
+
+    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
+                 child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.items = list(items)
+        self.distinct = distinct
+        self.dims = _bind_dimensions(items, child.output)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        dims = self.dims
+        ctx.record_shuffle(stage, child_rdd.count())
+        partitioned = child_rdd.partition_by_key(
+            lambda row: null_bitmap(row, dims))
+        result = []
+        for i, partition in enumerate(partitioned.partitions):
+            def task(rows=partition):
+                stats = DominanceStats()
+                skyline = bnl_skyline(rows, dims, distinct=False,
+                                      stats=stats,
+                                      dominance=dominates_incomplete,
+                                      check_deadline=ctx.check_deadline)
+                ctx.dominance_comparisons += stats.comparisons
+                return skyline, stats.window_peak
+            result.append(ctx.run_task(stage, i, task, len(partition)))
+        return RDD(result)
+
+    def node_description(self) -> str:
+        dims = ", ".join(i.sql() for i in self.items)
+        return f"SkylineLocalIncomplete(bitmap-partitioned BNL, [{dims}])"
+
+
+class SkylineGlobalIncompleteExec(PhysicalPlan):
+    """Flag-based all-pairs global skyline for incomplete data.
+
+    Cannot delete dominated tuples early (cyclic dominance, Appendix A);
+    compares all pairs, flags, and deletes at the end.
+    """
+
+    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
+                 child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.items = list(items)
+        self.distinct = distinct
+        self.dims = _bind_dimensions(items, child.output)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        rows = child_rdd.collect()
+        ctx.record_shuffle(stage, len(rows))
+        dims = self.dims
+
+        def task():
+            stats = DominanceStats()
+            skyline = flagged_global_skyline(
+                rows, dims, distinct=self.distinct, stats=stats,
+                check_deadline=ctx.check_deadline)
+            ctx.dominance_comparisons += stats.comparisons
+            return skyline, stats.window_peak
+
+        result = ctx.run_task(stage, 0, task, len(rows),
+                              parallelizable=False)
+        return RDD([result])
+
+    def node_description(self) -> str:
+        dims = ", ".join(i.sql() for i in self.items)
+        return f"SkylineGlobalIncomplete(all-pairs flagged, [{dims}])"
+
+
+class SkylineLocalSFSExec(PhysicalPlan):
+    """Local skyline via Sort-Filter-Skyline -- the future-work algorithm
+    (Section 7), available through the ``skyline.algorithm=sfs`` session
+    option and exercised by the ablation benchmarks."""
+
+    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
+                 child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.items = list(items)
+        self.distinct = distinct
+        self.dims = _bind_dimensions(items, child.output)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        dims = self.dims
+        result = []
+        for i, partition in enumerate(child_rdd.partitions):
+            def task(rows=partition):
+                stats = DominanceStats()
+                skyline = sfs_skyline(rows, dims, distinct=self.distinct,
+                                      stats=stats,
+                                      check_deadline=ctx.check_deadline)
+                ctx.dominance_comparisons += stats.comparisons
+                return skyline, stats.window_peak
+            result.append(ctx.run_task(stage, i, task, len(partition)))
+        return RDD(result)
+
+
+class SkylineGlobalSFSExec(PhysicalPlan):
+    """Global SFS skyline under the ``AllTuples`` distribution."""
+
+    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
+                 child: PhysicalPlan) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.items = list(items)
+        self.distinct = distinct
+        self.dims = _bind_dimensions(items, child.output)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        rows = child_rdd.collect()
+        ctx.record_shuffle(stage, len(rows))
+        dims = self.dims
+
+        def task():
+            stats = DominanceStats()
+            skyline = sfs_skyline(rows, dims, distinct=self.distinct,
+                                  stats=stats,
+                                  check_deadline=ctx.check_deadline)
+            ctx.dominance_comparisons += stats.comparisons
+            return skyline, stats.window_peak
+
+        result = ctx.run_task(stage, 0, task, len(rows),
+                              parallelizable=False)
+        return RDD([result])

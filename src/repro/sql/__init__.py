@@ -1,0 +1,7 @@
+"""SQL front end: lexer and parser with the SKYLINE OF extension."""
+
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse_expression, parse_query
+
+__all__ = ["Token", "TokenKind", "tokenize", "parse_expression",
+           "parse_query"]

@@ -1,0 +1,173 @@
+"""SQL tokenizer.
+
+A hand-written lexer standing in for the ANTLR-generated one that the
+paper extends (Section 5.1).  Keywords are case-insensitive; the skyline
+extension adds ``SKYLINE``, ``OF``, ``COMPLETE``, ``MIN``, ``MAX`` and
+``DIFF`` as (soft) keywords.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having",
+    "order", "limit", "as", "and", "or", "not", "null", "is", "in",
+    "exists", "between", "like", "case", "when", "then", "else", "end",
+    "join", "inner", "left", "right", "full", "outer", "cross", "on",
+    "using", "asc", "desc", "nulls", "first", "last", "true", "false",
+    # -- skyline extension (Listing 5) --
+    "skyline", "of", "complete", "min", "max", "diff",
+}
+
+_OPERATORS = ("<=>", "<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*",
+              "/", "%", "||")
+_PUNCT = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+    line: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value in words
+
+    def __repr__(self) -> str:
+        return f"{self.kind.name}:{self.value!r}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`ParseError` on invalid input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            # Line comment.
+            end = text.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise ParseError("unterminated block comment", i, line)
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i, line)
+            tokens.append(Token(TokenKind.STRING, value, i, line))
+            continue
+        if ch == '"' or ch == "`":
+            value, i = _read_quoted_identifier(text, i, line, ch)
+            tokens.append(Token(TokenKind.IDENTIFIER, value, i, line))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _read_number(text, i, line)
+            tokens.append(Token(TokenKind.NUMBER, value, i, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, lowered, start, line))
+            else:
+                tokens.append(Token(TokenKind.IDENTIFIER, word, start, line))
+            continue
+        matched_operator = None
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                matched_operator = op
+                break
+        if matched_operator is not None:
+            tokens.append(Token(TokenKind.OPERATOR, matched_operator, i,
+                                line))
+            i += len(matched_operator)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, i, line))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i, line)
+    tokens.append(Token(TokenKind.EOF, "", n, line))
+    return tokens
+
+
+def _read_string(text: str, start: int, line: int) -> tuple[str, int]:
+    """Read a single-quoted string with '' escaping."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise ParseError("unterminated string literal", start, line)
+
+
+def _read_quoted_identifier(text: str, start: int, line: int,
+                            quote: str) -> tuple[str, int]:
+    end = text.find(quote, start + 1)
+    if end < 0:
+        raise ParseError("unterminated quoted identifier", start, line)
+    return text[start + 1:end], end + 1
+
+
+def _read_number(text: str, start: int, line: int) -> tuple[str, int]:
+    i = start
+    n = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and text[i] in "+-":
+                i += 1
+        else:
+            break
+    value = text[start:i]
+    if value in (".",):
+        raise ParseError("malformed number", start, line)
+    return value, i

@@ -1,0 +1,154 @@
+"""Streaming skyline maintenance.
+
+Section 7 of the paper names "integration into different Spark modules
+such as structured streaming" as desirable future work.  This module
+provides that capability for the reproduction: a continuously maintained
+skyline over an append-only stream of rows, exposed both as a low-level
+accumulator (:class:`SkylineStream`) and as a micro-batch pipe
+(:meth:`SkylineStream.process_batch`) in the spirit of structured
+streaming's incremental queries.
+
+Complete-data semantics only: with nulls, dominance is not transitive,
+so dropping dominated tuples online would be incorrect (Appendix A);
+``SkylineStream`` therefore rejects rows with nulls in skyline
+dimensions unless ``allow_nulls`` explicitly opts into buffering them.
+In the buffering mode null rows are kept aside and the skyline is
+recomputed with the flag-based algorithm on demand -- correct, but with
+the cost profile Section 5.7 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .core.bnl import bnl_skyline
+from .core.dominance import (BoundDimension, dominates, equal_on_dimensions,
+                             has_null_dimension)
+from .core.incomplete import flagged_global_skyline
+from .errors import ExecutionError
+
+
+class SkylineStream:
+    """Continuously maintained skyline over an append-only row stream.
+
+    Each :meth:`add` folds one row into the window in O(window) time;
+    :meth:`current` returns the skyline of everything seen so far.
+    ``distinct`` applies ``SKYLINE OF DISTINCT`` semantics.
+    """
+
+    def __init__(self, dims: Sequence[BoundDimension],
+                 distinct: bool = False,
+                 allow_nulls: bool = False) -> None:
+        if not dims:
+            raise ExecutionError("streaming skyline needs dimensions")
+        self.dims = list(dims)
+        self.distinct = distinct
+        self.allow_nulls = allow_nulls
+        self._window: list[Sequence] = []
+        self._null_buffer: list[Sequence] = []
+        self.rows_seen = 0
+        self.rows_dropped = 0
+
+    def add(self, row: Sequence) -> bool:
+        """Fold one row in; returns True if it (currently) survives."""
+        self.rows_seen += 1
+        if has_null_dimension(row, self.dims):
+            if not self.allow_nulls:
+                raise ExecutionError(
+                    "null in a skyline dimension of a streaming row; "
+                    "construct the stream with allow_nulls=True to "
+                    "buffer incomplete rows")
+            self._null_buffer.append(row)
+            return True
+        survivors: list[Sequence] = []
+        dominated = False
+        for candidate in self._window:
+            if dominated:
+                survivors.append(candidate)
+                continue
+            if dominates(candidate, row, self.dims):
+                dominated = True
+                survivors.append(candidate)
+                continue
+            if dominates(row, candidate, self.dims):
+                self.rows_dropped += 1
+                continue
+            if self.distinct and equal_on_dimensions(row, candidate,
+                                                     self.dims):
+                dominated = True
+            survivors.append(candidate)
+        self._window = survivors
+        if dominated:
+            self.rows_dropped += 1
+            return False
+        self._window.append(row)
+        return True
+
+    def add_all(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.add(row)
+
+    def process_batch(self, rows: Iterable[Sequence]) -> dict:
+        """Micro-batch step: fold a batch and report the delta.
+
+        Returns ``{"added": [...], "evicted": [...], "skyline_size": n}``
+        -- the rows newly in the skyline, the previously-reported rows
+        that the batch displaced, and the current size.  This mirrors
+        the update-mode outputs of structured streaming sinks.
+        """
+        before = {id(r): r for r in self._window}
+        for row in rows:
+            self.add(row)
+        after_ids = {id(r) for r in self._window}
+        added = [r for r in self._window if id(r) not in before]
+        evicted = [r for key, r in before.items() if key not in after_ids]
+        return {
+            "added": added,
+            "evicted": evicted,
+            "skyline_size": len(self.current()),
+        }
+
+    def current(self) -> list[Sequence]:
+        """The skyline of all rows seen so far."""
+        if not self._null_buffer:
+            return list(self._window)
+        # Incomplete rows buffered: fall back to the correct flag-based
+        # computation over window + buffer (Section 5.7 semantics).
+        return flagged_global_skyline(
+            list(self._window) + list(self._null_buffer), self.dims,
+            distinct=self.distinct)
+
+    @property
+    def window_size(self) -> int:
+        return len(self._window)
+
+    def checkpoint(self) -> dict:
+        """Serializable state for restart (structured-streaming style)."""
+        return {
+            "window": [tuple(r) for r in self._window],
+            "null_buffer": [tuple(r) for r in self._null_buffer],
+            "rows_seen": self.rows_seen,
+            "rows_dropped": self.rows_dropped,
+        }
+
+    @classmethod
+    def restore(cls, dims: Sequence[BoundDimension], state: dict,
+                distinct: bool = False,
+                allow_nulls: bool = False) -> "SkylineStream":
+        stream = cls(dims, distinct=distinct, allow_nulls=allow_nulls)
+        stream._window = [tuple(r) for r in state["window"]]
+        stream._null_buffer = [tuple(r) for r in state["null_buffer"]]
+        stream.rows_seen = state["rows_seen"]
+        stream.rows_dropped = state["rows_dropped"]
+        return stream
+
+
+def skyline_of_stream(rows: Iterable[Sequence],
+                      dims: Sequence[BoundDimension],
+                      distinct: bool = False) -> list[Sequence]:
+    """One-shot convenience: the skyline of a finite stream.
+
+    Equivalent to :func:`repro.core.bnl.bnl_skyline`; provided so stream
+    producers and batch callers share an entry point.
+    """
+    return bnl_skyline(list(rows), dims, distinct=distinct)

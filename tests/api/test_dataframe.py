@@ -1,0 +1,200 @@
+"""DataFrame API, including the skyline functions of Section 5.8."""
+
+import pytest
+
+from repro import (AnalysisError, col, count, lit, sdiff, smax, smin,
+                   sql_min)
+from repro.engine import expressions as E
+
+
+class TestTransformations:
+    def test_select_by_name(self, hotels_session):
+        rows = hotels_session.table("hotels").select("name").collect()
+        assert len(rows[0]) == 1
+
+    def test_select_with_expression(self, hotels_session):
+        df = hotels_session.table("hotels").select(
+            (col("price") * lit(2)).alias("double_price"))
+        assert df.collect()[0].double_price == 240.0
+
+    def test_select_star(self, hotels_session):
+        df = hotels_session.table("hotels").select("*")
+        assert df.columns == ["name", "price", "rating", "distance"]
+
+    def test_select_requires_columns(self, hotels_session):
+        with pytest.raises(AnalysisError):
+            hotels_session.table("hotels").select()
+
+    def test_where_with_string_condition(self, hotels_session):
+        rows = hotels_session.table("hotels").where(
+            "price < 90").collect()
+        assert {r.name for r in rows} == {"Delta", "Far"}
+
+    def test_filter_alias(self, hotels_session):
+        df = hotels_session.table("hotels")
+        assert df.filter("price < 90").count() == \
+            df.where("price < 90").count()
+
+    def test_order_by_descending(self, hotels_session):
+        rows = hotels_session.table("hotels").order_by(
+            "price", ascending=False).collect()
+        assert rows[0].name == "Grand"
+
+    def test_order_by_mixed_directions(self, hotels_session):
+        rows = hotels_session.table("hotels").order_by(
+            "rating", "price", ascending=[False, True]).collect()
+        assert rows[0].name == "Grand"
+
+    def test_order_by_direction_mismatch(self, hotels_session):
+        with pytest.raises(AnalysisError):
+            hotels_session.table("hotels").order_by(
+                "price", ascending=[True, False])
+
+    def test_limit_and_count(self, hotels_session):
+        assert hotels_session.table("hotels").limit(3).count() == 3
+
+    def test_distinct(self, session):
+        df = session.create_dataframe([(1,), (1,), (2,)], ["x"])
+        assert df.distinct().count() == 2
+
+    def test_group_by_agg(self, session):
+        df = session.create_dataframe(
+            [("a", 1), ("a", 2), ("b", 5)], ["k", "v"])
+        rows = df.group_by("k").agg(
+            sql_min("v").alias("lo"), count().alias("n")).collect()
+        by_key = {r.k: (r.lo, r.n) for r in rows}
+        assert by_key == {"a": (1, 2), "b": (5, 1)}
+
+    def test_group_by_count_shortcut(self, session):
+        df = session.create_dataframe([("a",), ("a",), ("b",)], ["k"])
+        rows = df.group_by("k").count().collect()
+        assert {(r.k, r.count) for r in rows} == {("a", 2), ("b", 1)}
+
+    def test_agg_requires_arguments(self, session):
+        df = session.create_dataframe([(1,)], ["x"])
+        with pytest.raises(AnalysisError):
+            df.group_by("x").agg()
+
+
+class TestJoins:
+    @pytest.fixture
+    def two_tables(self, session):
+        left = session.create_dataframe(
+            [(1, "l1"), (2, "l2"), (3, "l3")], ["id", "l"])
+        right = session.create_dataframe(
+            [(1, "r1"), (2, "r2"), (4, "r4")], ["id", "r"])
+        return left, right
+
+    def test_inner_join_using(self, two_tables):
+        left, right = two_tables
+        rows = left.join(right, on=["id"]).collect()
+        assert {r.id for r in rows} == {1, 2}
+
+    def test_left_join_keeps_unmatched(self, two_tables):
+        left, right = two_tables
+        rows = left.join(right, on=["id"], how="left").collect()
+        by_id = {r.id: r.r for r in rows}
+        assert by_id[3] is None
+
+    def test_join_with_condition_expression(self, two_tables):
+        left, right = two_tables
+        condition = col("a.id").eq_value(col("b.id"))
+        rows = left.alias("a").join(right.alias("b"),
+                                    on=condition).collect()
+        assert len(rows) == 2
+
+    def test_join_with_operator_condition(self, two_tables):
+        left, right = two_tables
+        rows = left.alias("a").join(
+            right.alias("b"), on=col("a.id") < col("b.id")).collect()
+        # (1,2), (1,4), (2,4), (3,4)
+        assert len(rows) == 4
+
+    def test_cross_join(self, two_tables):
+        left, right = two_tables
+        assert left.join(right).count() == 9
+
+    def test_anti_join(self, two_tables):
+        left, right = two_tables
+        rows = left.join(right, on=["id"], how="anti").collect()
+        assert {r.id for r in rows} == {3}
+
+    def test_semi_join(self, two_tables):
+        left, right = two_tables
+        rows = left.join(right, on=["id"], how="semi").collect()
+        assert {r.id for r in rows} == {1, 2}
+
+    def test_unknown_join_type(self, two_tables):
+        left, right = two_tables
+        with pytest.raises(AnalysisError, match="join type"):
+            left.join(right, on=["id"], how="diagonal")
+
+
+class TestSkylineApi:
+    def test_skyline_with_column_functions(self, hotels_session):
+        rows = hotels_session.table("hotels").skyline(
+            smin("price"), smax("rating")).collect()
+        assert {r.name for r in rows} == {"Far", "Delta", "Beach",
+                                          "Exquisite", "Grand"}
+
+    def test_skyline_of_pairs(self, hotels_session):
+        rows = hotels_session.table("hotels").skyline_of(
+            [("price", "min"), ("rating", "max")]).collect()
+        assert {r.name for r in rows} == {"Far", "Delta", "Beach",
+                                          "Exquisite", "Grand"}
+
+    def test_skyline_matches_sql(self, hotels_session):
+        api = hotels_session.table("hotels").skyline(
+            smin("price"), smax("rating"), smin("distance"))
+        sql = hotels_session.sql(
+            "SELECT * FROM hotels SKYLINE OF price MIN, rating MAX, "
+            "distance MIN")
+        assert sorted(api.to_tuples()) == sorted(sql.to_tuples())
+
+    def test_skyline_distinct_flag(self, session):
+        df = session.create_dataframe(
+            [(1, 1, "a"), (1, 1, "b"), (0, 2, "c")], ["x", "y", "t"])
+        rows = df.skyline(smin("x"), smin("y"), distinct=True).collect()
+        assert len(rows) == 2
+
+    def test_skyline_with_sdiff(self, session):
+        df = session.create_dataframe(
+            [("red", 1), ("red", 2), ("blue", 5)], ["color", "price"])
+        rows = df.skyline(sdiff("color"), smin("price")).collect()
+        values = {tuple(r) for r in rows}
+        assert values == {("red", 1), ("blue", 5)}
+
+    def test_skyline_requires_dimension_columns(self, hotels_session):
+        with pytest.raises(AnalysisError):
+            hotels_session.table("hotels").skyline()
+        with pytest.raises(AnalysisError):
+            hotels_session.table("hotels").skyline(col("price"))
+
+    def test_skyline_of_requires_dimensions(self, hotels_session):
+        with pytest.raises(AnalysisError):
+            hotels_session.table("hotels").skyline_of([])
+
+    def test_complete_flag_selects_complete_algorithm(self, session):
+        df = session.create_dataframe([(1, 2), (2, 1)], ["x", "y"])
+        plan = df.skyline(smin("x"), smin("y"), complete=True).plan
+        assert plan.complete
+
+
+class TestActions:
+    def test_show_renders_table(self, hotels_session, capsys):
+        text = hotels_session.table("hotels").limit(2).show()
+        assert "name" in text
+        assert "+" in text
+        assert capsys.readouterr().out
+
+    def test_show_truncation_note(self, hotels_session):
+        text = hotels_session.table("hotels").show(n=2)
+        assert "only showing top 2" in text
+
+    def test_explain_prints(self, hotels_session, capsys):
+        hotels_session.table("hotels").skyline(smin("price")).explain()
+        assert "Physical Plan" in capsys.readouterr().out
+
+    def test_to_tuples(self, session):
+        df = session.create_dataframe([(1,)], ["x"])
+        assert df.to_tuples() == [(1,)]

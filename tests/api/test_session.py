@@ -1,0 +1,93 @@
+"""SkylineSession: configuration and the query pipeline."""
+
+import pytest
+
+from repro import (DOUBLE, INTEGER, STRING, BenchmarkTimeout,
+                   SkylineSession)
+from repro.engine.cluster import ClusterConfig
+from repro.engine.row import Field, Schema
+
+
+class TestConfiguration:
+    def test_executor_count_applied(self):
+        session = SkylineSession(num_executors=7)
+        assert session.cluster_config.num_executors == 7
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="skyline_algorithm"):
+            SkylineSession(skyline_algorithm="warp")
+
+    def test_with_executors_shares_catalog(self, hotels_session):
+        clone = hotels_session.with_executors(5)
+        assert clone.catalog is hotels_session.catalog
+        assert clone.cluster_config.num_executors == 5
+        # Original unchanged.
+        assert hotels_session.cluster_config.num_executors == 2
+
+    def test_with_skyline_algorithm(self, hotels_session):
+        clone = hotels_session.with_skyline_algorithm("sfs")
+        assert clone.skyline_algorithm == "sfs"
+        with pytest.raises(ValueError):
+            hotels_session.with_skyline_algorithm("warp")
+
+    def test_cluster_config_override(self):
+        config = ClusterConfig(executor_base_memory_mb=100.0)
+        session = SkylineSession(num_executors=3, cluster_config=config)
+        assert session.cluster_config.executor_base_memory_mb == 100.0
+        assert session.cluster_config.num_executors == 3
+
+
+class TestCatalogManagement:
+    def test_create_table_with_tuples(self, session):
+        table = session.create_table(
+            "t", [("a", INTEGER, False), ("b", STRING)], [(1, "x")])
+        assert table.schema.field("a").nullable is False
+        assert table.schema.field("b").nullable is True
+
+    def test_create_table_with_schema(self, session):
+        schema = Schema([Field("a", INTEGER)])
+        session.create_table("t", schema, [(1,)])
+        assert session.catalog.lookup("t").schema == schema
+
+    def test_create_dataframe_infers_schema(self, session):
+        df = session.create_dataframe([(1, "x"), (2, None)], ["n", "s"])
+        rows = df.collect()
+        assert rows[0].n == 1
+        assert rows[1].s is None
+
+    def test_table_unknown_fails_fast(self, session):
+        from repro.errors import AnalysisError
+        with pytest.raises(AnalysisError):
+            session.table("nope")
+
+
+class TestQueryExecution:
+    def test_sql_end_to_end(self, hotels_session):
+        rows = hotels_session.sql(
+            "SELECT name FROM hotels WHERE price < 100 "
+            "ORDER BY price").collect()
+        assert [r.name for r in rows] == ["Far", "Delta", "Beach",
+                                          "Exquisite"]
+
+    def test_query_result_metrics(self, hotels_session):
+        result = hotels_session.sql("SELECT name FROM hotels").run()
+        assert result.simulated_time_s > 0
+        assert result.peak_memory_mb > 0
+        assert result.schema.names == ["name"]
+
+    def test_time_budget_timeout(self, hotels_session):
+        hotels_session.set_time_budget(-1.0)
+        with pytest.raises(BenchmarkTimeout):
+            hotels_session.sql(
+                "SELECT name, price, rating FROM hotels "
+                "SKYLINE OF price MIN, rating MAX").collect()
+
+    def test_explain_shows_all_stages(self, hotels_session):
+        text = hotels_session.explain(
+            hotels_session.sql(
+                "SELECT name FROM hotels SKYLINE OF price MIN, "
+                "rating MAX").plan)
+        assert "Analyzed Logical Plan" in text
+        assert "Optimized Logical Plan" in text
+        assert "Physical Plan" in text
+        assert "Skyline" in text

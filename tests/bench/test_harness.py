@@ -1,0 +1,118 @@
+"""Benchmark harness and Appendix-D-style reporting."""
+
+import pytest
+
+from repro.bench import (ALGORITHMS_COMPLETE, ALGORITHMS_INCOMPLETE,
+                         dimensions_sweep, executors_sweep,
+                         format_memory_table, format_percent_table,
+                         format_time_table, render_sweep, run_query,
+                         tuples_sweep)
+from repro.bench.harness import RunResult
+from repro.core.algorithms import Algorithm
+from repro.datasets import store_sales_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return store_sales_workload(250)
+
+
+class TestRunQuery:
+    def test_integrated_run_records_metrics(self, workload):
+        result = run_query(workload, Algorithm.DISTRIBUTED_COMPLETE,
+                           num_dimensions=3, num_executors=2)
+        assert not result.timed_out
+        assert result.simulated_time_s > 0
+        assert result.peak_memory_mb > 0
+        assert result.result_rows > 0
+        assert result.dominance_comparisons > 0
+
+    def test_reference_run_matches_integrated_result_size(self, workload):
+        integrated = run_query(workload, Algorithm.DISTRIBUTED_COMPLETE,
+                               3, 2)
+        reference = run_query(workload, Algorithm.REFERENCE, 3, 2)
+        assert integrated.result_rows == reference.result_rows
+
+    def test_timeout_marks_run(self, workload):
+        result = run_query(workload, Algorithm.REFERENCE, 6, 2,
+                           budget_s=0.0)
+        assert result.timed_out
+        assert result.simulated_time_s == float("inf")
+
+    def test_all_strategies_run(self, workload):
+        for algorithm in ALGORITHMS_COMPLETE:
+            result = run_query(workload, algorithm, 2, 2)
+            assert not result.timed_out
+
+
+class TestSweeps:
+    def test_dimensions_sweep_shape(self, workload):
+        results = dimensions_sweep(workload, ALGORITHMS_INCOMPLETE, 2,
+                                   dimension_values=(1, 2))
+        assert set(results) == set(ALGORITHMS_INCOMPLETE)
+        assert all(len(v) == 2 for v in results.values())
+        assert results[Algorithm.REFERENCE][0].num_dimensions == 1
+
+    def test_executors_sweep_shape(self, workload):
+        results = executors_sweep(workload,
+                                  [Algorithm.DISTRIBUTED_COMPLETE], 2,
+                                  executor_values=(1, 4))
+        cells = results[Algorithm.DISTRIBUTED_COMPLETE]
+        assert [c.num_executors for c in cells] == [1, 4]
+
+    def test_tuples_sweep_builds_workloads(self):
+        results = tuples_sweep(
+            lambda n: store_sales_workload(n),
+            sizes=(50, 100),
+            algorithms=[Algorithm.DISTRIBUTED_COMPLETE],
+            num_dimensions=2, num_executors=2)
+        cells = results[Algorithm.DISTRIBUTED_COMPLETE]
+        assert [c.num_tuples for c in cells] == [50, 100]
+
+
+def _cell(algorithm, time_s, timed_out=False):
+    return RunResult(
+        algorithm=algorithm, dataset="d", num_dimensions=1, num_tuples=1,
+        num_executors=1, simulated_time_s=time_s, peak_memory_mb=1000.0,
+        result_rows=1, dominance_comparisons=1, wall_time_s=time_s,
+        timed_out=timed_out)
+
+
+class TestReporting:
+    RESULTS = {
+        Algorithm.DISTRIBUTED_COMPLETE: [
+            _cell(Algorithm.DISTRIBUTED_COMPLETE, 1.0),
+            _cell(Algorithm.DISTRIBUTED_COMPLETE, 2.0)],
+        Algorithm.REFERENCE: [
+            _cell(Algorithm.REFERENCE, 4.0),
+            _cell(Algorithm.REFERENCE, 0.0, timed_out=True)],
+    }
+
+    def test_time_table_contains_timeouts(self):
+        text = format_time_table("T", "x", [1, 2], self.RESULTS)
+        assert "t.o." in text
+        assert "4.000" in text
+
+    def test_percent_table_reference_is_100(self):
+        text = format_percent_table("T", "x", [1, 2], self.RESULTS)
+        assert "100.00%" in text
+        assert "25.00%" in text
+        # Column with timed-out reference becomes n.a.
+        assert "n.a." in text
+
+    def test_percent_requires_reference(self):
+        partial = {Algorithm.DISTRIBUTED_COMPLETE:
+                   self.RESULTS[Algorithm.DISTRIBUTED_COMPLETE]}
+        with pytest.raises(ValueError):
+            format_percent_table("T", "x", [1, 2], partial)
+
+    def test_memory_table(self):
+        text = format_memory_table("M", "x", [1, 2], self.RESULTS)
+        assert "1000.0" in text
+
+    def test_render_sweep_combines_sections(self):
+        text = render_sweep("Fig", "x", [1, 2], self.RESULTS,
+                            include_memory=True)
+        assert "execution time" in text
+        assert "relative to reference" in text
+        assert "peak memory" in text

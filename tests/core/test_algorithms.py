@@ -1,0 +1,125 @@
+"""The four evaluated algorithm strategies (Section 6.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (Algorithm, BoundDimension, DimensionKind,
+                        distributed_complete, distributed_incomplete,
+                        make_dimensions, non_distributed_complete,
+                        reference, sfs_complete, skyline)
+from tests.conftest import skyline_oracle
+
+MIN2 = make_dimensions([(0, "min"), (1, "min")])
+MINMAX = make_dimensions([(0, "min"), (1, "max")])
+
+rows_2d = st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                   max_size=60)
+maybe_int = st.one_of(st.none(), st.integers(0, 6))
+rows_with_nulls = st.lists(st.tuples(maybe_int, maybe_int), max_size=40)
+
+
+def _partition(rows, k):
+    return [rows[i::k] for i in range(k)] if rows else [[]]
+
+
+class TestMakeDimensions:
+    def test_builds_bound_dimensions(self):
+        dims = make_dimensions([(3, "min"), (1, DimensionKind.MAX)])
+        assert dims[0] == BoundDimension(3, DimensionKind.MIN)
+        assert dims[1] == BoundDimension(1, DimensionKind.MAX)
+
+
+class TestAlgorithmEnum:
+    def test_of_by_value_and_name(self):
+        assert Algorithm.of("reference") is Algorithm.REFERENCE
+        assert Algorithm.of("DISTRIBUTED_COMPLETE") is \
+            Algorithm.DISTRIBUTED_COMPLETE
+        assert Algorithm.of(Algorithm.REFERENCE) is Algorithm.REFERENCE
+
+    def test_of_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Algorithm.of("quantum")
+
+
+class TestCompleteAlgorithmsAgree:
+    @given(rows_2d, st.integers(1, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_all_complete_strategies_match_oracle(self, rows, k):
+        partitions = _partition(rows, k)
+        expected = sorted(skyline_oracle(rows, MIN2))
+        assert sorted(distributed_complete(partitions, MIN2)) == expected
+        assert sorted(non_distributed_complete(partitions, MIN2)) == \
+            expected
+        assert sorted(reference(partitions, MIN2)) == expected
+        assert sorted(sfs_complete(partitions, MIN2)) == expected
+
+    @given(rows_2d, st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_incomplete_algorithm_correct_on_complete_data(self, rows, k):
+        # Section 5.7: the incomplete algorithm is also correct (if slow)
+        # on complete data.
+        partitions = _partition(rows, k)
+        assert sorted(distributed_incomplete(partitions, MIN2)) == \
+            sorted(skyline_oracle(rows, MIN2))
+
+    @given(rows_2d)
+    @settings(max_examples=50, deadline=None)
+    def test_partitioning_does_not_change_result(self, rows):
+        one = distributed_complete(_partition(rows, 1), MIN2)
+        many = distributed_complete(_partition(rows, 7), MIN2)
+        assert sorted(one) == sorted(many)
+
+
+class TestIncompleteAlgorithm:
+    @given(rows_with_nulls, st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_incomplete_oracle(self, rows, k):
+        partitions = _partition(rows, k)
+        result = distributed_incomplete(partitions, MIN2)
+        expected = skyline_oracle(rows, MIN2, complete=False)
+        assert sorted(result, key=repr) == sorted(expected, key=repr)
+
+    def test_complete_data_degenerates_to_single_partition(self):
+        # With no nulls there is exactly one bitmap partition, so the
+        # local stage cannot parallelize (Section 5.7's warning).
+        from repro.core import partition_by_null_bitmap
+        rows = [(1, 2), (3, 4), (5, 6)]
+        assert len(partition_by_null_bitmap(rows, MIN2)) == 1
+
+
+class TestReference:
+    def test_incomplete_mode_uses_null_aware_dominance(self):
+        rows = [(1, None), (2, 5)]
+        result = reference([rows], MIN2, complete=False)
+        assert result == [(1, None)]
+
+    def test_distinct_deduplicates(self):
+        rows = [(1, 1, "a"), (1, 1, "b")]
+        assert len(reference([rows], MIN2, distinct=True)) == 1
+
+
+class TestSkylineFrontDoor:
+    def test_accepts_algorithm_names(self):
+        rows = [(2, 2), (1, 1), (1, 3)]
+        for name in ("distributed complete", "non-distributed complete",
+                     "distributed incomplete", "reference"):
+            assert sorted(skyline(rows, MIN2, algorithm=name)) == [(1, 1)]
+
+    def test_num_partitions_validation(self):
+        with pytest.raises(ValueError):
+            skyline([(1, 1)], MIN2, num_partitions=0)
+
+    def test_minmax_example(self):
+        hotels = [(120.0, 4.5), (90.0, 4.0), (150.0, 3.0), (80.0, 3.5)]
+        result = skyline(hotels, MINMAX, num_partitions=2)
+        assert sorted(result) == [(80.0, 3.5), (90.0, 4.0), (120.0, 4.5)]
+
+    @given(rows_2d, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_oracle_for_all_strategies(self, rows, k):
+        expected = sorted(skyline_oracle(rows, MIN2))
+        for algorithm in Algorithm:
+            result = skyline(rows, MIN2, algorithm=algorithm,
+                             num_partitions=k)
+            assert sorted(result) == expected

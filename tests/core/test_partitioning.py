@@ -1,0 +1,128 @@
+"""Partitioning schemes (random / grid / angle, Section 7 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (angle_partitions, bnl_skyline, grid_partitions,
+                        make_dimensions, partition_rows,
+                        prune_dominated_cells, random_partitions)
+from tests.conftest import skyline_oracle
+
+MIN2 = make_dimensions([(0, "min"), (1, "min")])
+MINMAX = make_dimensions([(0, "min"), (1, "max")])
+
+rows_2d = st.lists(
+    st.tuples(st.floats(0, 10, allow_nan=False),
+              st.floats(0, 10, allow_nan=False)), max_size=50)
+
+
+def union(partitions):
+    if isinstance(partitions, dict):
+        partitions = partitions.values()
+    return [row for p in partitions for row in p]
+
+
+class TestRandomPartitions:
+    def test_round_robin(self):
+        rows = [(i, i) for i in range(7)]
+        parts = random_partitions(rows, 3)
+        assert [len(p) for p in parts] == [3, 2, 2]
+
+    def test_validates_count(self):
+        with pytest.raises(ValueError):
+            random_partitions([], 0)
+
+
+class TestGridPartitions:
+    def test_four_corners_land_in_distinct_cells(self):
+        rows = [(0.0, 0.0), (9.9, 0.0), (0.0, 9.9), (9.9, 9.9)]
+        cells = grid_partitions(rows, MIN2, cells_per_dimension=2)
+        assert len(cells) == 4
+
+    def test_constant_dimension_collapses(self):
+        rows = [(1.0, 5.0), (2.0, 5.0)]
+        cells = grid_partitions(rows, MIN2, cells_per_dimension=3)
+        # Second dimension constant -> only the first splits.
+        assert all(coord[1] == 0 for coord in cells)
+
+    def test_orientation_of_max_dimensions(self):
+        # For a MAX dimension, big values should map to low (good) cells.
+        rows = [(1.0, 9.0), (1.0, 1.0)]
+        cells = grid_partitions(rows, MINMAX, cells_per_dimension=2)
+        good = [coord for coord, members in cells.items()
+                if (1.0, 9.0) in members]
+        bad = [coord for coord, members in cells.items()
+               if (1.0, 1.0) in members]
+        assert good[0][1] < bad[0][1]
+
+    @given(rows_2d)
+    @settings(max_examples=40, deadline=None)
+    def test_lossless(self, rows):
+        cells = grid_partitions(rows, MIN2, 3)
+        assert sorted(union(cells)) == sorted(rows)
+
+
+class TestCellPruning:
+    def test_strictly_dominated_cell_removed(self):
+        cells = {(0, 0): [(1.0, 1.0)], (2, 2): [(8.0, 8.0)],
+                 (0, 2): [(1.0, 8.0)]}
+        survivors = prune_dominated_cells(cells)
+        assert (2, 2) not in survivors
+        assert (0, 0) in survivors and (0, 2) in survivors
+
+    def test_pruning_preserves_skyline(self):
+        rows = [(float(i % 10), float(i // 10)) for i in range(100)]
+        cells = grid_partitions(rows, MIN2, 4)
+        pruned = prune_dominated_cells(cells)
+        assert sorted(bnl_skyline(union(pruned), MIN2)) == \
+            sorted(bnl_skyline(rows, MIN2))
+
+    @given(rows_2d)
+    @settings(max_examples=60, deadline=None)
+    def test_pruning_never_loses_skyline_members(self, rows):
+        cells = grid_partitions(rows, MIN2, 3)
+        pruned = prune_dominated_cells(cells)
+        expected = skyline_oracle(rows, MIN2)
+        remaining = union(pruned)
+        for member in expected:
+            assert member in remaining
+
+
+class TestAnglePartitions:
+    def test_partition_count_respected(self):
+        rows = [(float(i), float(50 - i)) for i in range(50)]
+        parts = angle_partitions(rows, MIN2, 5)
+        assert len(parts) == 5
+        assert sorted(union(parts)) == sorted(rows)
+
+    def test_falls_back_on_one_dimension(self):
+        rows = [(1.0,), (2.0,)]
+        dims = make_dimensions([(0, "min")])
+        parts = angle_partitions(rows, dims, 2)
+        assert sorted(union(parts)) == sorted(rows)
+
+    def test_anticorrelated_data_spreads_over_partitions(self):
+        # Anti-correlated band: angles vary, so several partitions fill.
+        rows = [(float(i), float(100 - i)) for i in range(100)]
+        parts = angle_partitions(rows, MIN2, 4)
+        non_empty = sum(1 for p in parts if p)
+        assert non_empty >= 3
+
+
+class TestPartitionRowsFrontDoor:
+    @pytest.mark.parametrize("scheme", ["random", "grid", "angle"])
+    @given(rows=rows_2d)
+    @settings(max_examples=25, deadline=None)
+    def test_local_global_pipeline_correct(self, scheme, rows):
+        partitions = partition_rows(rows, MIN2, scheme, 4,
+                                    prune_cells=(scheme == "grid"))
+        local_union = []
+        for partition in partitions:
+            local_union.extend(bnl_skyline(partition, MIN2))
+        result = bnl_skyline(local_union, MIN2)
+        assert sorted(result) == sorted(skyline_oracle(rows, MIN2))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            partition_rows([], MIN2, "hexagonal", 2)

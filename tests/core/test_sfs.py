@@ -1,0 +1,66 @@
+"""Sort-Filter-Skyline (the future-work algorithm family, Section 7)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (BoundDimension, DimensionKind, bnl_skyline,
+                        dominates, monotone_score, sfs_skyline)
+
+MIN2 = [BoundDimension(0, DimensionKind.MIN),
+        BoundDimension(1, DimensionKind.MIN)]
+MINMAX = [BoundDimension(0, DimensionKind.MIN),
+          BoundDimension(1, DimensionKind.MAX)]
+
+rows_2d = st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                   max_size=50)
+
+
+class TestMonotoneScore:
+    @given(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+           st.tuples(st.integers(0, 9), st.integers(0, 9)))
+    def test_dominance_implies_smaller_score(self, r, s):
+        if dominates(r, s, MIN2):
+            assert monotone_score(r, MIN2) < monotone_score(s, MIN2)
+
+    @given(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+           st.tuples(st.integers(0, 9), st.integers(0, 9)))
+    def test_monotone_under_mixed_directions(self, r, s):
+        if dominates(r, s, MINMAX):
+            assert monotone_score(r, MINMAX) < monotone_score(s, MINMAX)
+
+    def test_diff_dimensions_do_not_contribute(self):
+        dims = [BoundDimension(0, DimensionKind.MIN),
+                BoundDimension(1, DimensionKind.DIFF)]
+        assert monotone_score((2, 100), dims) == \
+            monotone_score((2, -100), dims)
+
+
+class TestSfsSkyline:
+    def test_simple_case(self):
+        rows = [(2, 2), (1, 1), (3, 3)]
+        assert sfs_skyline(rows, MIN2) == [(1, 1)]
+
+    def test_window_never_shrinks(self):
+        # After sorting, every inserted tuple is final -- incomparable
+        # chains all survive.
+        rows = [(1, 3), (3, 1), (2, 2)]
+        assert sorted(sfs_skyline(rows, MIN2)) == sorted(rows)
+
+    @given(rows_2d)
+    @settings(max_examples=120, deadline=None)
+    def test_equivalent_to_bnl(self, rows):
+        assert sorted(sfs_skyline(rows, MIN2)) == \
+            sorted(bnl_skyline(rows, MIN2))
+
+    @given(rows_2d)
+    @settings(max_examples=60, deadline=None)
+    def test_equivalent_to_bnl_minmax(self, rows):
+        assert sorted(sfs_skyline(rows, MINMAX)) == \
+            sorted(bnl_skyline(rows, MINMAX))
+
+    def test_distinct_semantics(self):
+        rows = [(1, 1, "a"), (1, 1, "b"), (0, 2, "c")]
+        result = sfs_skyline(rows, MIN2, distinct=True)
+        values = {(r[0], r[1]) for r in result}
+        assert values == {(1, 1), (0, 2)}
+        assert len(result) == 2

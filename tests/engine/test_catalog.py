@@ -1,0 +1,64 @@
+"""Catalog and constraint metadata."""
+
+import pytest
+
+from repro.engine.catalog import Catalog, ForeignKey, Table
+from repro.engine.row import Field, Schema
+from repro.engine.types import INTEGER, STRING
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def catalog():
+    return Catalog()
+
+
+def make_schema():
+    return Schema([Field("id", INTEGER, False), Field("name", STRING)])
+
+
+class TestCatalog:
+    def test_register_and_lookup_case_insensitive(self, catalog):
+        catalog.create_table("Users", make_schema(), [(1, "a")])
+        assert catalog.lookup("users").name == "Users"
+        assert catalog.exists("USERS")
+
+    def test_lookup_missing_raises(self, catalog):
+        with pytest.raises(AnalysisError, match="not found"):
+            catalog.lookup("ghost")
+
+    def test_replace_semantics(self, catalog):
+        catalog.create_table("t", make_schema(), [(1, "a")])
+        catalog.create_table("t", make_schema(), [(2, "b")])
+        assert catalog.lookup("t").rows == [(2, "b")]
+
+    def test_register_no_replace(self, catalog):
+        catalog.create_table("t", make_schema(), [])
+        with pytest.raises(AnalysisError, match="already exists"):
+            catalog.register(Table("t", make_schema(), []), replace=False)
+
+    def test_drop_and_names(self, catalog):
+        catalog.create_table("a", make_schema(), [])
+        catalog.create_table("b", make_schema(), [])
+        catalog.drop("a")
+        assert catalog.table_names() == ["b"]
+        catalog.drop("a")  # idempotent
+
+
+class TestTable:
+    def test_row_width_validated(self):
+        with pytest.raises(AnalysisError, match="row width"):
+            Table("t", make_schema(), [(1,)])
+
+    def test_constraints_recorded(self, catalog):
+        table = catalog.create_table(
+            "orders", make_schema(), [],
+            primary_key=("id",),
+            foreign_keys=[ForeignKey(("id",), "users", ("id",))],
+            unique_keys=[("name",)])
+        assert table.primary_key == ("id",)
+        assert table.foreign_keys[0].ref_table == "users"
+        assert table.unique_keys == [("name",)]
+
+    def test_num_rows(self):
+        assert Table("t", make_schema(), [(1, "a")]).num_rows == 1

@@ -1,0 +1,68 @@
+"""Column-builder helpers (smin/smax/sdiff and friends)."""
+
+from repro.core.dominance import DimensionKind
+from repro.engine import expressions as E
+from repro.engine.functions import (avg, coalesce, col, count, ifnull, lit,
+                                    sdiff, smax, smin, sql_max, sql_min,
+                                    sql_sum)
+
+
+class TestColumnBuilders:
+    def test_col_simple(self):
+        expr = col("price")
+        assert isinstance(expr, E.UnresolvedAttribute)
+        assert expr.name == "price"
+        assert expr.qualifier is None
+
+    def test_col_qualified(self):
+        expr = col("t.price")
+        assert expr.qualifier == "t"
+        assert expr.name == "price"
+
+    def test_lit(self):
+        assert lit(5).eval(()) == 5
+
+
+class TestSkylineBuilders:
+    def test_smin_smax_sdiff_kinds(self):
+        assert smin("a").kind is DimensionKind.MIN
+        assert smax("a").kind is DimensionKind.MAX
+        assert sdiff("a").kind is DimensionKind.DIFF
+
+    def test_accepts_expressions(self):
+        dim = smin(E.Add(col("a"), lit(1)))
+        assert isinstance(dim.child, E.Add)
+
+    def test_accepts_strings(self):
+        dim = smax("t.rating")
+        assert isinstance(dim.child, E.UnresolvedAttribute)
+        assert dim.child.qualifier == "t"
+
+
+class TestScalarHelpers:
+    def test_ifnull_wraps_literal_default(self):
+        expr = ifnull("a", 0)
+        assert isinstance(expr, E.IfNull)
+        assert isinstance(expr.children[1], E.Literal)
+
+    def test_coalesce(self):
+        expr = coalesce("a", "b")
+        assert isinstance(expr, E.Coalesce)
+        assert len(expr.children) == 2
+
+
+class TestAggregateHelpers:
+    def test_aggregate_builders(self):
+        assert isinstance(sql_min("a"), E.Min)
+        assert isinstance(sql_max("a"), E.Max)
+        assert isinstance(sql_sum("a"), E.Sum)
+        assert isinstance(avg("a"), E.Average)
+
+    def test_count_star(self):
+        expr = count()
+        assert isinstance(expr, E.Count)
+        assert isinstance(expr.child, E.Literal)
+
+    def test_count_column(self):
+        expr = count("a")
+        assert isinstance(expr.child, E.UnresolvedAttribute)

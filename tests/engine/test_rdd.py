@@ -1,0 +1,91 @@
+"""RDD partitioning semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.rdd import RDD
+
+
+class TestConstruction:
+    def test_from_rows_splits_evenly(self):
+        rdd = RDD.from_rows([(i,) for i in range(10)], 3)
+        assert rdd.partition_sizes() == [4, 3, 3]
+        assert rdd.count() == 10
+
+    def test_from_rows_single_partition(self):
+        rdd = RDD.from_rows([(1,), (2,)], 1)
+        assert rdd.num_partitions == 1
+
+    def test_more_partitions_than_rows(self):
+        rdd = RDD.from_rows([(1,)], 4)
+        assert rdd.num_partitions == 4
+        assert rdd.partition_sizes() == [1, 0, 0, 0]
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            RDD.from_rows([], 0)
+
+    def test_empty(self):
+        assert RDD.empty(3).count() == 0
+        assert RDD.empty(3).num_partitions == 3
+
+    @given(st.lists(st.tuples(st.integers()), max_size=50),
+           st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_split_preserves_order_and_content(self, rows, k):
+        assert RDD.from_rows(rows, k).collect() == rows
+
+
+class TestTransformations:
+    def test_map_rows(self):
+        rdd = RDD.from_rows([(1,), (2,)], 2)
+        assert rdd.map_rows(lambda r: (r[0] * 10,)).collect() == \
+            [(10,), (20,)]
+
+    def test_filter_rows(self):
+        rdd = RDD.from_rows([(i,) for i in range(6)], 2)
+        assert rdd.filter_rows(lambda r: r[0] % 2 == 0).collect() == \
+            [(0,), (2,), (4,)]
+
+    def test_map_partitions_sees_partition_lists(self):
+        rdd = RDD.from_rows([(i,) for i in range(4)], 2)
+        counted = rdd.map_partitions(lambda p: [(len(p),)])
+        assert counted.collect() == [(2,), (2,)]
+
+
+class TestShuffles:
+    def test_coalesce_to_one_is_alltuples(self):
+        rdd = RDD.from_rows([(i,) for i in range(5)], 3)
+        merged = rdd.coalesce_to_one()
+        assert merged.num_partitions == 1
+        assert merged.collect() == rdd.collect()
+
+    def test_repartition(self):
+        rdd = RDD.from_rows([(i,) for i in range(9)], 2).repartition(3)
+        assert rdd.num_partitions == 3
+        assert rdd.count() == 9
+
+    def test_partition_by_key_groups_all_equal_keys(self):
+        rows = [(1, "a"), (2, "b"), (1, "c"), (3, "d")]
+        rdd = RDD.from_rows(rows, 2).partition_by_key(lambda r: r[0])
+        partitions = [set(p) for p in rdd.partitions]
+        assert {(1, "a"), (1, "c")} in partitions
+        assert len(rdd.partitions) == 3
+
+    def test_partition_by_key_on_empty(self):
+        rdd = RDD.empty(2).partition_by_key(lambda r: r[0])
+        assert rdd.num_partitions == 1
+        assert rdd.count() == 0
+
+    def test_hash_partition_deterministic_and_lossless(self):
+        rows = [(i,) for i in range(20)]
+        rdd = RDD.from_rows(rows, 2).hash_partition(lambda r: r[0], 4)
+        assert rdd.num_partitions == 4
+        assert sorted(rdd.collect()) == rows
+        again = RDD.from_rows(rows, 2).hash_partition(lambda r: r[0], 4)
+        assert rdd.partitions == again.partitions
+
+    def test_hash_partition_validates_count(self):
+        with pytest.raises(ValueError):
+            RDD.empty().hash_partition(lambda r: r, 0)

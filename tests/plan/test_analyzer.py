@@ -1,0 +1,285 @@
+"""Analyzer resolution rules, including the skyline cases of Section 5.3."""
+
+import pytest
+
+from repro.engine import expressions as E
+from repro.engine.catalog import Catalog
+from repro.engine.row import Field, Schema
+from repro.engine.types import DOUBLE, INTEGER, STRING
+from repro.errors import AnalysisError
+from repro.plan import logical as L
+from repro.plan.analyzer import Analyzer
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.create_table(
+        "hotels",
+        Schema([Field("name", STRING, False),
+                Field("price", DOUBLE, False),
+                Field("rating", DOUBLE, False)]),
+        [("A", 100.0, 4.0)])
+    catalog.create_table(
+        "bookings",
+        Schema([Field("hotel", STRING, False),
+                Field("name", STRING, False),
+                Field("nights", INTEGER, False)]),
+        [("A", "guest", 3)])
+    return catalog
+
+
+@pytest.fixture
+def analyzer(catalog):
+    return Analyzer(catalog)
+
+
+def analyze(analyzer, sql):
+    return analyzer.analyze(parse_query(sql))
+
+
+def find(plan, node_type):
+    nodes = [n for n in plan.iter_tree() if isinstance(n, node_type)]
+    assert nodes, f"no {node_type.__name__} in plan"
+    return nodes[0]
+
+
+class TestRelationResolution:
+    def test_table_resolved_from_catalog(self, analyzer):
+        plan = analyze(analyzer, "SELECT name FROM hotels")
+        assert plan.resolved
+        relation = find(plan, L.LogicalRelation)
+        assert relation.table.name == "hotels"
+
+    def test_unknown_table_raises(self, analyzer):
+        with pytest.raises(AnalysisError, match="not found"):
+            analyze(analyzer, "SELECT a FROM ghost")
+
+    def test_self_join_gets_distinct_attribute_ids(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT a.name FROM hotels a, hotels b")
+        relations = [n for n in plan.iter_tree()
+                     if isinstance(n, L.LogicalRelation)]
+        ids_a = {attr.expr_id for attr in relations[0].output}
+        ids_b = {attr.expr_id for attr in relations[1].output}
+        assert not (ids_a & ids_b)
+
+
+class TestReferenceResolution:
+    def test_column_resolved_with_type(self, analyzer):
+        plan = analyze(analyzer, "SELECT price FROM hotels")
+        attr = plan.output[0]
+        assert attr.name == "price"
+        assert attr.dtype == DOUBLE
+
+    def test_unknown_column_raises(self, analyzer):
+        with pytest.raises(AnalysisError):
+            analyze(analyzer, "SELECT ghost FROM hotels")
+
+    def test_qualified_reference(self, analyzer):
+        plan = analyze(analyzer, "SELECT h.price FROM hotels h")
+        assert plan.output[0].name == "price"
+
+    def test_wrong_qualifier_raises(self, analyzer):
+        with pytest.raises(AnalysisError):
+            analyze(analyzer, "SELECT x.price FROM hotels h")
+
+    def test_ambiguous_reference_raises(self, analyzer):
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            analyze(analyzer,
+                    "SELECT name FROM hotels h, bookings b")
+
+    def test_ambiguity_resolved_by_qualifier(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT h.name FROM hotels h, bookings b")
+        assert plan.resolved
+
+    def test_star_expansion(self, analyzer):
+        plan = analyze(analyzer, "SELECT * FROM hotels")
+        assert [a.name for a in plan.output] == ["name", "price", "rating"]
+
+    def test_qualified_star_expansion(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT b.* FROM hotels h, bookings b")
+        assert [a.name for a in plan.output] == ["hotel", "name", "nights"]
+
+    def test_where_sees_base_columns(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT name FROM hotels WHERE price < 100")
+        assert plan.resolved
+
+
+class TestFunctionResolution:
+    def test_aggregates_resolved(self, analyzer):
+        plan = analyze(analyzer, "SELECT min(price) AS m FROM hotels")
+        aggregate = find(plan, L.Aggregate)
+        alias = aggregate.aggregate_expressions[0]
+        assert isinstance(alias.child, E.Min)
+
+    def test_scalar_function_resolved(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT ifnull(price, 0) AS p FROM hotels")
+        assert plan.resolved
+
+    def test_unknown_function_raises(self, analyzer):
+        with pytest.raises(AnalysisError, match="undefined function"):
+            analyze(analyzer, "SELECT frobnicate(price) AS x FROM hotels")
+
+    def test_wrong_arity_raises(self, analyzer):
+        with pytest.raises(AnalysisError):
+            analyze(analyzer, "SELECT ifnull(price) AS x FROM hotels")
+
+
+class TestUsingJoins:
+    def test_join_on_condition_resolves(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT hotels.name FROM hotels JOIN bookings b "
+                       "ON hotels.name = b.hotel")
+        join = find(plan, L.Join)
+        assert join.condition is not None
+        assert plan.resolved
+
+    def test_using_join_merges_key_column(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT * FROM hotels h JOIN bookings b USING (name)")
+        # name appears once, then remaining columns of both sides.
+        names = [a.name for a in plan.output]
+        assert names == ["name", "price", "rating", "hotel", "nights"]
+
+    def test_using_with_missing_column_raises(self, analyzer):
+        with pytest.raises(AnalysisError, match="USING column"):
+            analyze(analyzer,
+                    "SELECT * FROM hotels h JOIN bookings b USING (price)")
+
+
+class TestGroupByValidation:
+    def test_non_grouped_column_rejected(self, analyzer):
+        with pytest.raises(AnalysisError, match="GROUP BY"):
+            analyze(analyzer,
+                    "SELECT name, price FROM hotels GROUP BY name")
+
+    def test_grouped_column_accepted(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT name, max(price) AS p FROM hotels "
+                       "GROUP BY name")
+        assert plan.resolved
+
+    def test_having_with_aggregate_not_in_select(self, analyzer):
+        # HAVING references count(*) which must be pulled into the
+        # Aggregate and trimmed back by a Project.
+        plan = analyze(analyzer,
+                       "SELECT name FROM hotels GROUP BY name "
+                       "HAVING count(*) > 0")
+        assert plan.resolved
+        assert [a.name for a in plan.output] == ["name"]
+        aggregate = find(plan, L.Aggregate)
+        assert len(aggregate.aggregate_expressions) == 2
+
+
+class TestSkylineResolution:
+    def test_dimensions_resolved_in_projection(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT price, rating FROM hotels "
+                       "SKYLINE OF price MIN, rating MAX")
+        skyline = find(plan, L.SkylineOperator)
+        assert skyline.resolved
+        assert all(isinstance(i.child, E.AttributeReference)
+                   for i in skyline.skyline_items)
+
+    def test_listing6_missing_dimension_added_and_trimmed(self, analyzer):
+        # price is not in the SELECT list; the analyzer must add it below
+        # the skyline and trim it back with a Project (Listing 6).
+        plan = analyze(analyzer,
+                       "SELECT name FROM hotels SKYLINE OF price MIN")
+        assert [a.name for a in plan.output] == ["name"]
+        skyline = find(plan, L.SkylineOperator)
+        assert skyline.resolved
+        # The skyline child projection now carries price.
+        child_names = [a.name for a in skyline.child.output]
+        assert "price" in child_names
+        # And the outermost node trims back to the original output.
+        assert isinstance(plan, L.Project)
+
+    def test_listing7_aggregate_dimension_propagated(self, analyzer):
+        # Skyline over an aggregate not in the select list: the count
+        # must be introduced into the Aggregate (Listing 7).
+        plan = analyze(analyzer,
+                       "SELECT name, sum(nights) AS total FROM bookings "
+                       "GROUP BY name SKYLINE OF count(nights) MAX")
+        assert plan.resolved
+        assert [a.name for a in plan.output] == ["name", "total"]
+        aggregate = find(plan, L.Aggregate)
+        aggregate_sqls = [
+            a.child.sql() for a in aggregate.aggregate_expressions
+            if isinstance(a, E.Alias)]
+        assert any("count" in s for s in aggregate_sqls)
+
+    def test_skyline_over_select_alias(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT price AS cost FROM hotels "
+                       "SKYLINE OF cost MIN")
+        assert plan.resolved
+
+    def test_skyline_through_having_filter(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT name, min(price) AS p FROM hotels "
+                       "GROUP BY name HAVING min(price) > 0 "
+                       "SKYLINE OF max(rating) MAX")
+        assert plan.resolved
+        skyline = find(plan, L.SkylineOperator)
+        # The HAVING filter sits between skyline and aggregate.
+        assert isinstance(skyline.child, L.Filter)
+
+    def test_unresolvable_dimension_raises(self, analyzer):
+        with pytest.raises(AnalysisError):
+            analyze(analyzer, "SELECT name FROM hotels SKYLINE OF ghost MIN")
+
+
+class TestSortResolution:
+    def test_order_by_column_not_in_projection(self, analyzer):
+        # Same missing-reference machinery as the skyline (Listing 6).
+        plan = analyze(analyzer,
+                       "SELECT name FROM hotels ORDER BY price")
+        assert plan.resolved
+        assert [a.name for a in plan.output] == ["name"]
+
+    def test_order_by_aggregate_appendix_b(self, analyzer):
+        # Sort on an aggregate above HAVING: the Appendix B repair.
+        plan = analyze(analyzer,
+                       "SELECT name FROM hotels GROUP BY name "
+                       "HAVING count(*) > 0 ORDER BY min(price)")
+        assert plan.resolved
+        assert [a.name for a in plan.output] == ["name"]
+
+    def test_order_by_select_alias(self, analyzer):
+        plan = analyze(analyzer,
+                       "SELECT price AS cost FROM hotels ORDER BY cost")
+        assert plan.resolved
+
+
+class TestCorrelatedSubqueries:
+    def test_not_exists_resolves_with_outer_scope(self, analyzer):
+        plan = analyze(analyzer, """
+            SELECT name FROM hotels AS o WHERE NOT EXISTS(
+                SELECT * FROM hotels AS i
+                WHERE i.price < o.price)
+        """)
+        assert plan.resolved
+        exists = [e for n in plan.iter_tree() for x in n.expressions()
+                  for e in x.iter_tree() if isinstance(e, E.Exists)]
+        assert exists
+        # The inner filter wraps the outer column in an OuterReference.
+        inner_plan = exists[0].plan
+        outer_refs = [
+            e for node in inner_plan.iter_tree()
+            for x in node.expressions()
+            for e in x.iter_tree() if isinstance(e, E.OuterReference)]
+        assert outer_refs
+
+    def test_scalar_subquery_resolved(self, analyzer):
+        plan = analyze(analyzer, """
+            SELECT name FROM hotels
+            WHERE price = (SELECT min(price) AS m FROM hotels)
+        """)
+        assert plan.resolved

@@ -1,0 +1,165 @@
+"""Physical planning: join strategies and Listing 8 algorithm selection."""
+
+import pytest
+
+from repro.api.session import SkylineSession
+from repro.engine.types import DOUBLE, INTEGER, STRING
+from repro.errors import PlanningError
+from repro.plan import physical as P
+from repro.plan.planner import Planner
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def session():
+    session = SkylineSession(num_executors=2)
+    session.create_table(
+        "pts",
+        [("id", INTEGER, False), ("x", DOUBLE, False),
+         ("y", DOUBLE, True)],
+        [(1, 1.0, 2.0), (2, 2.0, 1.0), (3, 3.0, None)])
+    session.create_table(
+        "tags",
+        [("id", INTEGER, False), ("tag", STRING, False)],
+        [(1, "a"), (2, "b")])
+    return session
+
+
+def physical_plan(session, sql, strategy="auto"):
+    analyzed = session.analyze(parse_query(sql))
+    optimized = session.optimize(analyzed)
+    return Planner(strategy).plan(optimized)
+
+
+def find_exec(plan, node_type):
+    return [n for n in plan.iter_tree() if isinstance(n, node_type)]
+
+
+class TestBasicLowering:
+    def test_scan_filter_project(self, session):
+        plan = physical_plan(
+            session, "SELECT x FROM pts WHERE x > 1")
+        assert find_exec(plan, P.ScanExec)
+        assert find_exec(plan, P.FilterExec)
+        assert find_exec(plan, P.ProjectExec)
+
+    def test_sort_limit_distinct(self, session):
+        plan = physical_plan(
+            session, "SELECT DISTINCT x FROM pts ORDER BY x LIMIT 2")
+        assert find_exec(plan, P.SortExec)
+        assert find_exec(plan, P.LimitExec)
+        assert find_exec(plan, P.DistinctExec)
+
+    def test_aggregate(self, session):
+        plan = physical_plan(
+            session, "SELECT id, sum(x) AS s FROM pts GROUP BY id")
+        assert find_exec(plan, P.HashAggregateExec)
+
+
+class TestJoinStrategy:
+    def test_equi_join_uses_hash_join(self, session):
+        plan = physical_plan(
+            session,
+            "SELECT x FROM pts JOIN tags ON pts.id = tags.id")
+        assert find_exec(plan, P.HashJoinExec)
+        assert not find_exec(plan, P.BroadcastNestedLoopJoinExec)
+
+    def test_non_equi_join_uses_nested_loop(self, session):
+        plan = physical_plan(
+            session,
+            "SELECT x FROM pts p JOIN tags t ON p.id < t.id")
+        assert find_exec(plan, P.BroadcastNestedLoopJoinExec)
+
+    def test_reference_query_plans_anti_nested_loop(self, session):
+        plan = physical_plan(session, """
+            SELECT x, y FROM pts AS o WHERE NOT EXISTS(
+                SELECT * FROM pts AS i WHERE i.x < o.x AND i.y < o.y)
+        """)
+        loops = find_exec(plan, P.BroadcastNestedLoopJoinExec)
+        assert loops and loops[0].join_type == "left_anti"
+
+
+class TestListing8AlgorithmSelection:
+    SQL_NULLABLE = "SELECT x, y FROM pts SKYLINE OF x MIN, y MAX"
+    SQL_COMPLETE_KW = \
+        "SELECT x, y FROM pts SKYLINE OF COMPLETE x MIN, y MAX"
+    SQL_NON_NULLABLE = "SELECT id, x FROM pts SKYLINE OF id MIN, x MIN"
+
+    def test_nullable_dimensions_select_incomplete_nodes(self, session):
+        plan = physical_plan(session, self.SQL_NULLABLE)
+        assert find_exec(plan, P.SkylineLocalIncompleteExec)
+        assert find_exec(plan, P.SkylineGlobalIncompleteExec)
+
+    def test_complete_keyword_forces_complete_nodes(self, session):
+        plan = physical_plan(session, self.SQL_COMPLETE_KW)
+        assert find_exec(plan, P.SkylineLocalExec)
+        assert find_exec(plan, P.SkylineGlobalCompleteExec)
+
+    def test_non_nullable_dimensions_select_complete_nodes(self, session):
+        plan = physical_plan(session, self.SQL_NON_NULLABLE)
+        assert find_exec(plan, P.SkylineLocalExec)
+        assert find_exec(plan, P.SkylineGlobalCompleteExec)
+
+    def test_forced_non_distributed_skips_local_node(self, session):
+        plan = physical_plan(session, self.SQL_COMPLETE_KW,
+                             strategy="non-distributed-complete")
+        assert not find_exec(plan, P.SkylineLocalExec)
+        assert find_exec(plan, P.SkylineGlobalCompleteExec)
+
+    def test_forced_incomplete_on_complete_data(self, session):
+        plan = physical_plan(session, self.SQL_NON_NULLABLE,
+                             strategy="distributed-incomplete")
+        assert find_exec(plan, P.SkylineGlobalIncompleteExec)
+
+    def test_sfs_strategy(self, session):
+        plan = physical_plan(session, self.SQL_COMPLETE_KW,
+                             strategy="sfs")
+        assert find_exec(plan, P.SkylineLocalSFSExec)
+        assert find_exec(plan, P.SkylineGlobalSFSExec)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PlanningError):
+            Planner("turbo")
+
+    def test_global_node_has_local_child(self, session):
+        plan = physical_plan(session, self.SQL_COMPLETE_KW)
+        global_node = find_exec(plan, P.SkylineGlobalCompleteExec)[0]
+        assert isinstance(global_node.children[0], P.SkylineLocalExec)
+
+
+class TestExecutionSemantics:
+    def test_skyline_results_identical_across_strategies(self, session):
+        rows = {}
+        for strategy in ("distributed-complete",
+                         "non-distributed-complete",
+                         "distributed-incomplete", "sfs"):
+            forced = session.with_skyline_algorithm(strategy)
+            result = forced.sql(
+                "SELECT id, x FROM pts SKYLINE OF id MIN, x MIN")
+            rows[strategy] = sorted(result.to_tuples())
+        assert len({tuple(v) for v in rows.values()}) == 1
+
+    def test_local_stage_parallelizable_global_not(self, session):
+        result = session.sql(
+            "SELECT id, x FROM pts SKYLINE OF id MIN, x MIN").run()
+        stages = {s.name: s for s in result.context.stages}
+        local = [s for name, s in stages.items()
+                 if name.startswith("SkylineLocalExec")]
+        global_ = [s for name, s in stages.items()
+                   if name.startswith("SkylineGlobalCompleteExec")]
+        assert local and local[0].parallelizable
+        assert global_ and not global_[0].parallelizable
+
+    def test_incomplete_local_partitions_by_bitmap(self, session):
+        result = session.with_skyline_algorithm(
+            "distributed-incomplete").sql(
+            "SELECT x, y FROM pts SKYLINE OF x MIN, y MAX").run()
+        stages = [s for s in result.context.stages
+                  if s.name.startswith("SkylineLocalIncompleteExec")]
+        # Two bitmap groups: y null vs y present.
+        assert stages and len(stages[0].tasks) == 2
+
+    def test_scalar_subquery_executes_once(self, session):
+        result = session.sql(
+            "SELECT id FROM pts WHERE x = (SELECT min(x) AS m FROM pts)")
+        assert result.to_tuples() == [(1,)]

@@ -1,0 +1,81 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import TokenKind, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)
+            if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_lowercased(self):
+        tokens = kinds("SELECT Price FROM hotels")
+        assert tokens[0] == (TokenKind.KEYWORD, "select")
+        assert tokens[1] == (TokenKind.IDENTIFIER, "Price")
+        assert tokens[2] == (TokenKind.KEYWORD, "from")
+
+    def test_skyline_keywords(self):
+        tokens = kinds("SKYLINE OF price MIN, rating MAX, cat DIFF")
+        keywords = [v for k, v in tokens if k is TokenKind.KEYWORD]
+        assert keywords == ["skyline", "of", "min", "max", "diff"]
+
+    def test_numbers(self):
+        tokens = kinds("1 2.5 1e3 2.5E-2 .5")
+        assert all(k is TokenKind.NUMBER for k, _ in tokens)
+        assert [v for _, v in tokens] == ["1", "2.5", "1e3", "2.5E-2", ".5"]
+
+    def test_strings_with_escapes(self):
+        tokens = kinds("'it''s'")
+        assert tokens == [(TokenKind.STRING, "it's")]
+
+    def test_quoted_identifiers(self):
+        assert kinds('"Weird Name"') == \
+            [(TokenKind.IDENTIFIER, "Weird Name")]
+        assert kinds("`col`") == [(TokenKind.IDENTIFIER, "col")]
+
+    def test_operators(self):
+        tokens = kinds("a <= b <> c <=> d != e")
+        operators = [v for k, v in tokens if k is TokenKind.OPERATOR]
+        assert operators == ["<=", "<>", "<=>", "!="]
+
+    def test_punctuation(self):
+        tokens = kinds("f(a, b.c)")
+        puncts = [v for k, v in tokens if k is TokenKind.PUNCT]
+        assert puncts == ["(", ",", ".", ")"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        tokens = kinds("SELECT -- everything\n1")
+        assert (TokenKind.NUMBER, "1") in tokens
+        assert len(tokens) == 2
+
+    def test_block_comment(self):
+        tokens = kinds("SELECT /* multi\nline */ 1")
+        assert len(tokens) == 2
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("SELECT\n\nprice")
+        assert tokens[1].line == 3
+
+
+class TestLexerErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError, match="unterminated block"):
+            tokenize("/* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("SELECT #")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')

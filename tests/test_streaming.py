@@ -1,0 +1,118 @@
+"""Streaming skyline maintenance (Section 7 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bnl_skyline, make_dimensions
+from repro.errors import ExecutionError
+from repro.streaming import SkylineStream, skyline_of_stream
+from tests.conftest import skyline_oracle
+
+MIN2 = make_dimensions([(0, "min"), (1, "min")])
+
+rows_2d = st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                   max_size=50)
+maybe_int = st.one_of(st.none(), st.integers(0, 6))
+rows_nullable = st.lists(st.tuples(maybe_int, maybe_int), max_size=30)
+
+
+class TestSkylineStream:
+    def test_empty_stream(self):
+        stream = SkylineStream(MIN2)
+        assert stream.current() == []
+        assert stream.window_size == 0
+
+    def test_requires_dimensions(self):
+        with pytest.raises(ExecutionError):
+            SkylineStream([])
+
+    def test_add_reports_survival(self):
+        stream = SkylineStream(MIN2)
+        assert stream.add((2, 2)) is True
+        assert stream.add((3, 3)) is False  # dominated on arrival
+        assert stream.add((1, 1)) is True   # evicts (2,2)
+        assert stream.current() == [(1, 1)]
+
+    def test_counters(self):
+        stream = SkylineStream(MIN2)
+        stream.add_all([(2, 2), (3, 3), (1, 1)])
+        assert stream.rows_seen == 3
+        assert stream.rows_dropped == 2
+
+    def test_distinct_mode(self):
+        stream = SkylineStream(MIN2, distinct=True)
+        stream.add_all([(1, 1), (1, 1)])
+        assert stream.current() == [(1, 1)]
+
+    def test_null_rows_rejected_by_default(self):
+        stream = SkylineStream(MIN2)
+        with pytest.raises(ExecutionError, match="allow_nulls"):
+            stream.add((None, 1))
+
+    def test_null_rows_buffered_when_allowed(self):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        stream.add((2, 5))
+        stream.add((None, 1))
+        # (None,1) beats (2,5) on the common non-null dimension, so the
+        # null-aware skyline keeps only the null row.
+        assert sorted(stream.current(), key=repr) == [(None, 1)]
+
+    @given(rows_2d)
+    @settings(max_examples=80, deadline=None)
+    def test_stream_matches_batch(self, rows):
+        stream = SkylineStream(MIN2)
+        stream.add_all(rows)
+        assert sorted(stream.current()) == \
+            sorted(bnl_skyline(rows, MIN2))
+
+    @given(rows_nullable)
+    @settings(max_examples=50, deadline=None)
+    def test_nullable_stream_matches_oracle(self, rows):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        stream.add_all(rows)
+        expected = skyline_oracle(rows, MIN2, complete=False)
+        assert sorted(stream.current(), key=repr) == \
+            sorted(expected, key=repr)
+
+
+class TestMicroBatches:
+    def test_batch_delta_reporting(self):
+        stream = SkylineStream(MIN2)
+        first = stream.process_batch([(2, 2), (3, 3)])
+        assert first["added"] == [(2, 2)]
+        assert first["evicted"] == []
+        second = stream.process_batch([(1, 1)])
+        assert second["added"] == [(1, 1)]
+        assert second["evicted"] == [(2, 2)]
+        assert second["skyline_size"] == 1
+
+    @given(rows_2d, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_batching_is_transparent(self, rows, batch_size):
+        stream = SkylineStream(MIN2)
+        for start in range(0, len(rows), batch_size):
+            stream.process_batch(rows[start:start + batch_size])
+        assert sorted(stream.current()) == \
+            sorted(bnl_skyline(rows, MIN2))
+
+
+class TestCheckpointing:
+    def test_checkpoint_restore_roundtrip(self):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        stream.add_all([(2, 2), (3, 3), (1, 4)])
+        stream.add((None, 0))
+        state = stream.checkpoint()
+        restored = SkylineStream.restore(MIN2, state, allow_nulls=True)
+        assert sorted(restored.current(), key=repr) == \
+            sorted(stream.current(), key=repr)
+        assert restored.rows_seen == stream.rows_seen
+        # The restored stream keeps working.
+        restored.add((0, 0))
+        assert (0, 0) in restored.current()
+
+
+class TestOneShotHelper:
+    def test_skyline_of_stream(self):
+        rows = [(2, 2), (1, 1), (1, 3)]
+        assert sorted(skyline_of_stream(iter(rows), MIN2)) == [(1, 1)]
