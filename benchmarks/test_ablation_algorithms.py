@@ -12,10 +12,8 @@ is ever tested.
 
 import pytest
 
-from helpers import bench_representative, record, scaled
-from repro.bench.harness import run_query
+from helpers import record, scaled
 from repro.bench.reporting import _render_rows
-from repro.core.algorithms import Algorithm
 from repro.datasets import (anticorrelated_rows, correlated_rows,
                             independent_rows)
 from repro.datasets.workload import Workload

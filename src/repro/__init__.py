@@ -30,8 +30,10 @@ Quickstart::
 from .api import DataFrame, GroupedData, QueryResult, SkylineSession
 from .core import (Algorithm, BoundDimension, DimensionKind, DominanceStats,
                    bnl_skyline, dominates, dominates_incomplete, skyline)
-from .engine import (BOOLEAN, DOUBLE, INTEGER, STRING, ClusterConfig, Field,
-                     ForeignKey, Row, Schema)
+from .engine import (BACKEND_NAMES, BOOLEAN, DOUBLE, INTEGER, STRING, Backend,
+                     ClusterConfig, Field, ForeignKey, LocalBackend,
+                     ProcessBackend, Row, Schema, ThreadBackend,
+                     create_backend)
 from .engine.functions import (avg, coalesce, col, count, ifnull, lit,
                                sdiff, smax, smin, sql_max, sql_min, sql_sum)
 from .errors import (AnalysisError, BenchmarkTimeout, ExecutionError,

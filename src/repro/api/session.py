@@ -12,10 +12,10 @@ from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
 from ..engine import expressions as E
+from ..engine.backends import Backend, BackendSpec
 from ..engine.catalog import Catalog, ForeignKey, Table
 from ..engine.cluster import ClusterConfig, ExecutionContext
 from ..engine.row import Field, Row, Schema, infer_schema
-from ..errors import AnalysisError
 from ..plan.analyzer import Analyzer
 from ..plan.logical import LocalRelation, LogicalPlan, tree_string
 from ..plan.optimizer import Optimizer
@@ -35,6 +35,11 @@ class QueryResult:
     @property
     def simulated_time_s(self) -> float:
         return self.context.simulated_time_s()
+
+    @property
+    def real_time_s(self) -> float:
+        """Host wall-clock time the execution backend actually spent."""
+        return self.context.real_time_s()
 
     @property
     def peak_memory_mb(self) -> float:
@@ -60,12 +65,22 @@ class SkylineSession:
         and skyline-through-join pushdown); on by default.
     cluster_config:
         Full cluster model override; ``num_executors`` wins if both given.
+    backend:
+        Execution backend for partition tasks: ``local`` (sequential,
+        default), ``thread`` (thread pool) or ``process`` (process pool
+        with true multi-core parallelism), or a pre-built
+        :class:`~repro.engine.backends.Backend` instance.  Orthogonal to
+        ``num_executors``, which drives the *simulated* cluster model.
+    num_workers:
+        Pool size for the thread/process backends (default: CPU count).
     """
 
     def __init__(self, num_executors: int = 2,
                  skyline_algorithm: str = "auto",
                  enable_skyline_optimizations: bool = True,
-                 cluster_config: ClusterConfig | None = None) -> None:
+                 cluster_config: ClusterConfig | None = None,
+                 backend: "str | Backend" = "local",
+                 num_workers: int | None = None) -> None:
         if skyline_algorithm not in SKYLINE_STRATEGIES:
             raise ValueError(
                 f"unknown skyline_algorithm {skyline_algorithm!r}; expected "
@@ -76,12 +91,33 @@ class SkylineSession:
         self.enable_skyline_optimizations = enable_skyline_optimizations
         self.catalog = Catalog()
         self._time_budget_s: float | None = None
+        # Validates the name eagerly; the pool itself is lazy.  Clones
+        # share this spec by reference so at most one pool exists.
+        self._backend_spec = BackendSpec(backend, num_workers)
 
     # -- configuration ------------------------------------------------------
 
+    @property
+    def backend(self) -> Backend:
+        """The execution backend, created lazily so that sessions never
+        pay pool start-up cost unless a parallel backend is used."""
+        return self._backend_spec.resolve()
+
+    def close(self) -> None:
+        """Shut down the backend's worker pool (idempotent; the session
+        remains usable -- the pool is recreated on demand)."""
+        self._backend_spec.close()
+
+    def __enter__(self) -> "SkylineSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def with_executors(self, num_executors: int) -> "SkylineSession":
         """A session sharing this catalog but with a different executor
-        count (cheap: catalogs are shared by reference)."""
+        count (cheap: catalogs -- and the backend spec, hence any worker
+        pool -- are shared by reference)."""
         clone = SkylineSession(
             num_executors=num_executors,
             skyline_algorithm=self.skyline_algorithm,
@@ -89,6 +125,15 @@ class SkylineSession:
             cluster_config=self.cluster_config)
         clone.catalog = self.catalog
         clone._time_budget_s = self._time_budget_s
+        clone._backend_spec = self._backend_spec
+        return clone
+
+    def with_backend(self, backend: "str | Backend",
+                     num_workers: int | None = None) -> "SkylineSession":
+        """A session sharing this catalog but running on a different
+        execution backend (the original keeps its own)."""
+        clone = self.with_executors(self.cluster_config.num_executors)
+        clone._backend_spec = BackendSpec(backend, num_workers)
         return clone
 
     def with_skyline_algorithm(self, algorithm: str) -> "SkylineSession":
@@ -188,7 +233,7 @@ class SkylineSession:
         analyzed = self.analyze(plan)
         optimized = self.optimize(analyzed)
         physical = Planner(self.skyline_algorithm).plan(optimized)
-        ctx = ExecutionContext(self.cluster_config)
+        ctx = ExecutionContext(self.cluster_config, backend=self.backend)
         ctx.set_budget(self._time_budget_s)
         rdd = physical.execute(ctx)
         schema = Schema([Field(a.name, a.dtype, a.nullable)

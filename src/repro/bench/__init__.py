@@ -1,21 +1,27 @@
 """Benchmark harness regenerating the paper's tables and figures."""
 
 from .harness import (ALGORITHMS_COMPLETE, ALGORITHMS_INCOMPLETE, RunResult,
-                      dimensions_sweep, executors_sweep, run_query,
-                      tuples_sweep)
-from .reporting import (format_memory_table, format_percent_table,
-                        format_time_table, render_sweep)
+                      backends_sweep, dimensions_sweep, executors_sweep,
+                      run_query, tuples_sweep)
+from .reporting import (format_backend_table, format_memory_table,
+                        format_percent_table, format_time_table,
+                        render_sweep)
+from .smoke import measure_speedup, run_smoke
 
 __all__ = [
     "ALGORITHMS_COMPLETE",
     "ALGORITHMS_INCOMPLETE",
     "RunResult",
+    "backends_sweep",
     "dimensions_sweep",
     "executors_sweep",
+    "format_backend_table",
     "format_memory_table",
     "format_percent_table",
     "format_time_table",
+    "measure_speedup",
     "render_sweep",
     "run_query",
+    "run_smoke",
     "tuples_sweep",
 ]

@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` -- benchmark smoke entry point."""
+
+import sys
+
+from .smoke import main
+
+if __name__ == "__main__":
+    sys.exit(main())

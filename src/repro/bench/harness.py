@@ -69,6 +69,12 @@ class RunResult:
     dominance_comparisons: int
     wall_time_s: float
     timed_out: bool = False
+    #: Which execution backend ran the partition tasks.
+    backend: str = "local"
+    #: Real host wall-clock time spent inside stage execution -- the
+    #: measured counterpart of the *simulated* makespan, used to validate
+    #: executor-scaling curves against actual parallel speedups.
+    real_time_s: float = float("nan")
 
     @property
     def label(self) -> str:
@@ -79,7 +85,9 @@ def run_query(workload, algorithm: Algorithm, num_dimensions: int,
               num_executors: int,
               budget_s: float | None = DEFAULT_BUDGET_S,
               simulated_timeout_s: float | None = None,
-              session: SkylineSession | None = None) -> RunResult:
+              session: SkylineSession | None = None,
+              backend: str = "local",
+              num_workers: int | None = None) -> RunResult:
     """Execute one benchmark cell.
 
     ``workload`` is a :class:`~repro.datasets.Workload` (or the
@@ -92,10 +100,21 @@ def run_query(workload, algorithm: Algorithm, num_dimensions: int,
     ``simulated_timeout_s`` bounds the *simulated distributed* time --
     like in the paper, a run that times out on 3 executors may finish
     within budget on 10.
+
+    ``backend`` selects the execution backend (``local``, ``thread`` or
+    ``process``); with a parallel backend ``real_time_s`` on the result
+    reflects genuine multi-core execution of the partition tasks.
     """
-    if session is None:
-        session = _prepared_session(workload, num_executors)
+    own_session = session is None
+    if own_session:
+        session = _prepared_session(workload, num_executors,
+                                    backend=backend,
+                                    num_workers=num_workers)
     else:
+        if backend != "local" or num_workers is not None:
+            raise ValueError(
+                "backend=/num_workers= cannot be combined with session=; "
+                "configure the session's backend instead")
         session = session.with_executors(num_executors)
     if algorithm is Algorithm.REFERENCE:
         session = session.with_skyline_algorithm("auto")
@@ -107,35 +126,45 @@ def run_query(workload, algorithm: Algorithm, num_dimensions: int,
     session.set_time_budget(budget_s)
     start = time.perf_counter()
     try:
-        result = session.sql(sql).run()
-    except BenchmarkTimeout:
+        try:
+            result = session.sql(sql).run()
+        except BenchmarkTimeout:
+            elapsed = time.perf_counter() - start
+            return RunResult(
+                algorithm=algorithm, dataset=workload.table_name,
+                num_dimensions=num_dimensions, num_tuples=workload.num_rows,
+                num_executors=num_executors,
+                simulated_time_s=float("inf"), peak_memory_mb=float("nan"),
+                result_rows=-1, dominance_comparisons=-1,
+                wall_time_s=elapsed, timed_out=True,
+                backend=session.backend.name)
         elapsed = time.perf_counter() - start
+        simulated = result.simulated_time_s
+        timed_out = (simulated_timeout_s is not None
+                     and simulated > simulated_timeout_s)
         return RunResult(
             algorithm=algorithm, dataset=workload.table_name,
             num_dimensions=num_dimensions, num_tuples=workload.num_rows,
             num_executors=num_executors,
-            simulated_time_s=float("inf"), peak_memory_mb=float("nan"),
-            result_rows=-1, dominance_comparisons=-1,
-            wall_time_s=elapsed, timed_out=True)
-    elapsed = time.perf_counter() - start
-    simulated = result.simulated_time_s
-    timed_out = (simulated_timeout_s is not None
-                 and simulated > simulated_timeout_s)
-    return RunResult(
-        algorithm=algorithm, dataset=workload.table_name,
-        num_dimensions=num_dimensions, num_tuples=workload.num_rows,
-        num_executors=num_executors,
-        simulated_time_s=float("inf") if timed_out else simulated,
-        peak_memory_mb=result.peak_memory_mb,
-        result_rows=len(result.rows),
-        dominance_comparisons=result.context.dominance_comparisons,
-        wall_time_s=elapsed, timed_out=timed_out)
+            simulated_time_s=float("inf") if timed_out else simulated,
+            peak_memory_mb=result.peak_memory_mb,
+            result_rows=len(result.rows),
+            dominance_comparisons=result.context.dominance_comparisons,
+            wall_time_s=elapsed, timed_out=timed_out,
+            backend=session.backend.name,
+            real_time_s=result.real_time_s)
+    finally:
+        if own_session:
+            session.close()
 
 
-def _prepared_session(workload, num_executors: int) -> SkylineSession:
+def _prepared_session(workload, num_executors: int,
+                      backend: str = "local",
+                      num_workers: int | None = None) -> SkylineSession:
     session = SkylineSession(
         num_executors=num_executors,
-        cluster_config=ClusterConfig(memory_scale=MEMORY_SCALE))
+        cluster_config=ClusterConfig(memory_scale=MEMORY_SCALE),
+        backend=backend, num_workers=num_workers)
     workload.register(session)
     return session
 
@@ -176,6 +205,33 @@ def executors_sweep(workload, algorithms: Sequence[Algorithm],
                 budget_s=budget_s,
                 simulated_timeout_s=simulated_timeout_s,
                 session=session))
+    return results
+
+
+def backends_sweep(workload, algorithm: Algorithm, num_dimensions: int,
+                   num_executors: int,
+                   backends: Sequence[str] = ("local", "thread", "process"),
+                   num_workers: int | None = None,
+                   budget_s: float | None = None
+                   ) -> dict[str, RunResult]:
+    """One query per execution backend: real vs simulated makespan.
+
+    The new axis this reproduction adds on top of the paper: the same
+    simulated cluster, but partition tasks actually executed
+    sequentially, on a thread pool, or on a process pool.  Results are
+    asserted identical across backends by the property-test suite; here
+    the interest is ``real_time_s``.
+    """
+    results: dict[str, RunResult] = {}
+    for backend in backends:
+        session = _prepared_session(workload, num_executors,
+                                    backend=backend, num_workers=num_workers)
+        try:
+            results[backend] = run_query(
+                workload, algorithm, num_dimensions, num_executors,
+                budget_s=budget_s, session=session)
+        finally:
+            session.close()
     return results
 
 

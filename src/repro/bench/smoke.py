@@ -1,0 +1,199 @@
+"""Fast benchmark smoke runs for CI.
+
+Two entry points, both reachable via ``python -m repro.bench``:
+
+* :func:`run_smoke` -- a tiny airbnb + store_sales workload executed on
+  every backend; emits ``BENCH_smoke.json`` with real and simulated
+  times so CI archives a machine-readable health snapshot per commit.
+* :func:`measure_speedup` -- the local-skyline phase of the bundled
+  store_sales workload executed on the local vs the process backend,
+  reporting the real wall-clock speedup.  On a multi-core runner the
+  process backend must beat sequential execution; single-core machines
+  report a speedup near (or below) 1.0, which is why the threshold is
+  opt-in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Sequence
+
+from ..core.algorithms import Algorithm, local_bnl_task, make_dimensions
+from ..core.bnl import bnl_skyline
+from ..engine.backends import (LocalBackend, ProcessBackend, StageTask,
+                               default_num_workers)
+from ..engine.rdd import RDD
+from ..datasets import airbnb_workload, store_sales_workload
+from .harness import backends_sweep
+
+SMOKE_BACKENDS = ("local", "thread", "process")
+
+
+def _result_record(result) -> dict:
+    return {
+        "algorithm": result.algorithm.value,
+        "backend": result.backend,
+        "num_dimensions": result.num_dimensions,
+        "num_tuples": result.num_tuples,
+        "num_executors": result.num_executors,
+        "result_rows": result.result_rows,
+        "dominance_comparisons": result.dominance_comparisons,
+        "simulated_time_s": result.simulated_time_s,
+        "real_time_s": result.real_time_s,
+        "wall_time_s": result.wall_time_s,
+        "timed_out": result.timed_out,
+    }
+
+
+def run_smoke(num_rows: int = 400, num_executors: int = 4,
+              num_dimensions: int = 3,
+              backends: Sequence[str] = SMOKE_BACKENDS,
+              num_workers: int | None = None) -> dict:
+    """Tiny airbnb + store_sales workload on every backend.
+
+    Returns a JSON-serialisable report; every backend must produce the
+    same skyline size (a cheap cross-backend consistency check that runs
+    on every CI commit, complementing the full property-test suite).
+    """
+    workloads = [airbnb_workload(num_rows), store_sales_workload(num_rows)]
+    report: dict = {
+        "kind": "smoke",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "num_rows": num_rows,
+        "num_executors": num_executors,
+        "num_dimensions": num_dimensions,
+        "runs": [],
+    }
+    for workload in workloads:
+        results = backends_sweep(
+            workload, Algorithm.DISTRIBUTED_COMPLETE, num_dimensions,
+            num_executors, backends=backends, num_workers=num_workers)
+        sizes = {r.result_rows for r in results.values()}
+        if len(sizes) != 1:
+            raise AssertionError(
+                f"backends disagree on {workload.table_name}: "
+                f"{ {b: r.result_rows for b, r in results.items()} }")
+        report["runs"].extend(_result_record(r) for r in results.values())
+    return report
+
+
+def measure_speedup(num_rows: int = 50_000, num_partitions: int | None = None,
+                    num_dimensions: int = 6,
+                    num_workers: int | None = None) -> dict:
+    """Local-skyline phase: sequential vs process-pool wall clock.
+
+    Uses the bundled store_sales workload, split evenly like the engine's
+    scan would, and runs the exact per-partition kernel
+    (:func:`~repro.core.algorithms.local_bnl_task`) under the
+    :class:`LocalBackend` and the :class:`ProcessBackend`.  The global
+    phase is excluded on purpose: it is the non-parallelizable tail that
+    bounds scaling (Section 6.4), while this measurement validates that
+    the parallelizable phase really parallelizes.
+    """
+    num_workers = num_workers or default_num_workers()
+    num_partitions = num_partitions or num_workers
+    workload = store_sales_workload(num_rows)
+    col_index = {c[0]: i for i, c in enumerate(workload.columns)}
+    dims = make_dimensions([
+        (col_index[name], kind)
+        for name, kind in workload.dimensions(num_dimensions)])
+    partitions = RDD.from_rows(workload.rows, num_partitions).partitions
+    tasks = [StageTask(partition=i, rows_in=len(p),
+                       func=local_bnl_task, args=(p, dims, False))
+             for i, p in enumerate(partitions)]
+
+    def timed(backend) -> tuple[float, list]:
+        with backend:
+            if isinstance(backend, ProcessBackend):
+                # Full warm-up pass: ProcessPoolExecutor spawns workers
+                # on demand, so anything less leaves forks inside the
+                # timed run.  Sequential backends have nothing to warm.
+                backend.run_stage(tasks)
+            start = time.perf_counter()
+            outcomes = backend.run_stage(tasks)
+            elapsed = time.perf_counter() - start
+        return elapsed, [o.result[0] for o in outcomes]
+
+    local_s, local_rows = timed(LocalBackend())
+    process_s, process_rows = timed(ProcessBackend(num_workers))
+    if local_rows != process_rows:
+        raise AssertionError("process backend produced different skylines")
+    # Sanity anchor: the union of local skylines must reduce to the same
+    # global skyline regardless of how the phase executed.
+    union = [row for rows in local_rows for row in rows]
+    global_skyline = bnl_skyline(union, dims)
+    return {
+        "kind": "speedup",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "num_rows": num_rows,
+        "num_partitions": num_partitions,
+        "num_workers": num_workers,
+        "num_dimensions": num_dimensions,
+        "local_s": local_s,
+        "process_s": process_s,
+        "speedup": local_s / process_s if process_s > 0 else float("inf"),
+        "global_skyline_rows": len(global_skyline),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: ``python -m repro.bench --smoke`` / ``--speedup``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark smoke runs (full figure suite: pytest "
+                    "benchmarks/)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the tiny airbnb+store_sales workload on "
+                             "every backend and emit BENCH_smoke.json")
+    parser.add_argument("--speedup", action="store_true",
+                        help="measure local-skyline-phase speedup of the "
+                             "process backend over sequential execution")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="workload size override")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for parallel backends")
+    parser.add_argument("--out", default="BENCH_smoke.json",
+                        help="output path for the smoke report")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the measured speedup reaches "
+                             "this factor (use on multi-core CI runners)")
+    args = parser.parse_args(argv)
+    if not (args.smoke or args.speedup):
+        parser.error("nothing to do: pass --smoke and/or --speedup")
+
+    status = 0
+    if args.smoke:
+        report = run_smoke(num_rows=args.rows or 400,
+                           num_workers=args.workers)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"smoke report written to {args.out}")
+        for run in report["runs"]:
+            print(f"  {run['algorithm']} on {run['backend']:>7}: "
+                  f"real {run['real_time_s']:.4f}s  "
+                  f"simulated {run['simulated_time_s']:.4f}s  "
+                  f"rows {run['result_rows']}")
+    if args.speedup:
+        result = measure_speedup(num_rows=args.rows or 50_000,
+                                 num_workers=args.workers)
+        print(f"local-skyline phase on {result['num_rows']} rows, "
+              f"{result['num_partitions']} partitions, "
+              f"{result['num_workers']} workers "
+              f"({result['cpu_count']} cores): "
+              f"local {result['local_s']:.3f}s, "
+              f"process {result['process_s']:.3f}s, "
+              f"speedup {result['speedup']:.2f}x")
+        if args.min_speedup is not None and \
+                result["speedup"] < args.min_speedup:
+            print(f"FAIL: speedup below required {args.min_speedup:.2f}x",
+                  file=sys.stderr)
+            status = 1
+    return status

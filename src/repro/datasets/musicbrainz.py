@@ -16,7 +16,6 @@ import random
 from dataclasses import dataclass
 
 from ..engine.types import INTEGER
-from .workload import Workload
 
 #: (column, kind) per Table 13, in the paper's order.
 MUSICBRAINZ_SKYLINE_DIMENSIONS: list[tuple[str, str]] = [

@@ -1,5 +1,7 @@
 """The engine substrate: types, rows, expressions, RDDs, cluster, catalog."""
 
+from .backends import (BACKEND_NAMES, Backend, LocalBackend, ProcessBackend,
+                       StageTask, ThreadBackend, create_backend)
 from .catalog import Catalog, ForeignKey, Table
 from .cluster import ClusterConfig, ExecutionContext
 from .rdd import RDD
@@ -9,10 +11,17 @@ from .types import (BOOLEAN, DOUBLE, INTEGER, STRING, BooleanType, DataType,
                     infer_type, is_numeric, is_orderable)
 
 __all__ = [
+    "BACKEND_NAMES",
     "BOOLEAN",
+    "Backend",
     "BooleanType",
     "Catalog",
     "ClusterConfig",
+    "LocalBackend",
+    "ProcessBackend",
+    "StageTask",
+    "ThreadBackend",
+    "create_backend",
     "DOUBLE",
     "DataType",
     "DoubleType",

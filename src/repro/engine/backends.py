@@ -1,0 +1,284 @@
+"""Pluggable execution backends for partition tasks.
+
+The simulated cluster (:mod:`repro.engine.cluster`) models *distributed*
+time by scheduling measured task durations onto virtual executors; how
+the tasks actually run on the host is a separate concern.  This module
+owns that concern: a :class:`Backend` executes one *stage* -- a batch of
+independent partition tasks -- and returns each task's result together
+with its individually measured duration.
+
+Three implementations are provided:
+
+* :class:`LocalBackend` -- sequential in-process execution, the
+  historical behaviour and the default.
+* :class:`ThreadBackend` -- a ``ThreadPoolExecutor``.  Python's GIL
+  limits the speedup for the CPU-bound skyline kernels, but the backend
+  exercises real concurrency (shared-memory, no pickling) and is useful
+  wherever tasks release the GIL.
+* :class:`ProcessBackend` -- a ``ProcessPoolExecutor`` giving true
+  multi-core parallelism.  Tasks must offer a *picklable* payload
+  (top-level function + arguments); tasks that only provide an
+  in-process closure transparently fall back to inline execution, so
+  mixed plans still work.
+
+Every backend preserves task order and determinism: results are returned
+in submission order regardless of completion order, so the engine's
+output is bit-identical across backends.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+#: Names accepted by :func:`create_backend` and the session API.
+BACKEND_NAMES = ("local", "thread", "process")
+
+
+def default_num_workers() -> int:
+    """Worker count used when the caller does not specify one."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class StageTask:
+    """One partition task of a stage.
+
+    ``fn`` is an in-process closure (may capture engine state such as the
+    deadline checker).  ``func``/``args`` is an optional *picklable*
+    payload -- a top-level function plus plain-data arguments -- that
+    process backends ship to worker processes.  Tasks providing only
+    ``fn`` still run under every backend (the process backend executes
+    them inline).
+    """
+
+    partition: int
+    rows_in: int
+    fn: Callable[[], Any] | None = None
+    func: Callable[..., Any] | None = None
+    args: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.fn is None and self.func is None:
+            raise ValueError("StageTask needs fn or func")
+
+    @property
+    def picklable(self) -> bool:
+        return self.func is not None
+
+    def run_inline(self) -> Any:
+        """Execute in the calling thread/process."""
+        if self.fn is not None:
+            return self.fn()
+        return self.func(*self.args)
+
+
+@dataclass
+class TaskOutcome:
+    """Result of one task plus its measured duration."""
+
+    result: Any
+    duration_s: float
+
+
+def timed_invoke(func: Callable[..., Any], args: tuple) -> TaskOutcome:
+    """Run ``func(*args)`` measuring its duration.
+
+    Top-level so that :class:`ProcessBackend` can pickle it; the duration
+    is measured inside the worker, which is what the simulated-cluster
+    makespan model needs.
+    """
+    start = time.perf_counter()
+    result = func(*args)
+    return TaskOutcome(result, time.perf_counter() - start)
+
+
+def _timed_inline(task: StageTask) -> TaskOutcome:
+    start = time.perf_counter()
+    result = task.run_inline()
+    return TaskOutcome(result, time.perf_counter() - start)
+
+
+def _timed_in_thread(task: StageTask) -> TaskOutcome:
+    """Inline execution timed with per-thread CPU time.
+
+    GIL contention makes wall-clock meaningless for concurrent
+    CPU-bound threads (N tasks each appear ~N times slower);
+    ``thread_time`` excludes time spent waiting for the GIL, keeping
+    recorded durations -- and hence the simulated makespan -- comparable
+    across backends for the CPU-bound skyline kernels.
+    """
+    start = time.thread_time()
+    result = task.run_inline()
+    return TaskOutcome(result, time.thread_time() - start)
+
+
+class Backend:
+    """Executes the tasks of one stage; see the module docstring."""
+
+    name = "base"
+
+    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LocalBackend(Backend):
+    """Sequential in-process execution (the default)."""
+
+    name = "local"
+
+    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
+        return [_timed_inline(task) for task in tasks]
+
+
+class _PooledBackend(Backend):
+    """Shared lazy-pool plumbing for thread/process backends."""
+
+    def __init__(self, num_workers: int | None = None) -> None:
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers or default_num_workers()
+        self._pool: Executor | None = None
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    @property
+    def pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_workers={self.num_workers})"
+
+
+class ThreadBackend(_PooledBackend):
+    """Thread-pool execution: shared memory, no pickling requirements."""
+
+    name = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.num_workers,
+            thread_name_prefix="repro-stage")
+
+    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
+        if len(tasks) <= 1:
+            return [_timed_inline(task) for task in tasks]
+        futures = [self.pool.submit(_timed_in_thread, task)
+                   for task in tasks]
+        return [future.result() for future in futures]
+
+
+class ProcessBackend(_PooledBackend):
+    """Process-pool execution: true multi-core parallelism.
+
+    Only tasks with a picklable payload (``func``/``args``) travel to the
+    worker processes; closure-only tasks run inline in the driver.  The
+    local-skyline phase -- the parallel bulk of ``distributed_complete``
+    and ``distributed_incomplete`` -- provides such payloads, so it is
+    exactly the work that fans out.
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.num_workers)
+
+    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
+        shippable = [t for t in tasks if t.picklable]
+        if len(shippable) <= 1:
+            return [_timed_inline(task) for task in tasks]
+        futures = {
+            id(task): self.pool.submit(timed_invoke, task.func, task.args)
+            for task in shippable}
+        outcomes = []
+        for task in tasks:
+            future = futures.get(id(task))
+            outcomes.append(future.result() if future is not None
+                            else _timed_inline(task))
+        return outcomes
+
+
+@dataclass
+class BackendSpec:
+    """Declarative backend selection, resolved lazily.
+
+    Sessions hold one of these and *share it by reference* across
+    clones (``with_executors`` etc.), so a process pool is materialised
+    at most once no matter which clone triggers it -- and closing any
+    sharer closes the one real pool.  ``choice`` is a backend name or a
+    pre-built :class:`Backend` instance.
+    """
+
+    choice: "str | Backend" = "local"
+    num_workers: int | None = None
+    _instance: Backend | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.choice, Backend):
+            self._instance = self.choice
+        elif self.choice not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.choice!r}; expected one of "
+                f"{BACKEND_NAMES}")
+
+    def resolve(self) -> Backend:
+        if self._instance is None:
+            self._instance = create_backend(self.choice, self.num_workers)
+        return self._instance
+
+    def close(self) -> None:
+        """Shut down the materialised backend's pool, if any.
+
+        The instance is kept: pooled backends recreate their pool on
+        demand, so the spec stays usable after close.
+        """
+        if self._instance is not None:
+            self._instance.close()
+
+    @property
+    def name(self) -> str:
+        return self._instance.name if self._instance is not None \
+            else str(self.choice)
+
+
+def create_backend(name: "str | Backend",
+                   num_workers: int | None = None) -> Backend:
+    """Instantiate a backend by name (``local``/``thread``/``process``).
+
+    An already-constructed :class:`Backend` passes through unchanged so
+    callers can inject custom implementations.
+    """
+    if isinstance(name, Backend):
+        return name
+    if name == "local":
+        return LocalBackend()
+    if name == "thread":
+        return ThreadBackend(num_workers)
+    if name == "process":
+        return ProcessBackend(num_workers)
+    raise ValueError(
+        f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

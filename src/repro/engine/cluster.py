@@ -22,8 +22,10 @@ that, tasks hold their input partition plus any skyline window.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from .backends import Backend, LocalBackend, StageTask
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,10 @@ class StageMetrics:
     shuffled_rows: int = 0
     #: True if the stage's tasks may run on different executors.
     parallelizable: bool = True
+    #: Real (host) wall-clock time spent executing the stage's tasks,
+    #: as opposed to the simulated makespan.  With a parallel backend
+    #: this is less than the sum of the task durations.
+    real_time_s: float = 0.0
 
     @property
     def rows_in(self) -> int:
@@ -93,6 +99,21 @@ class StageMetrics:
     @property
     def rows_out(self) -> int:
         return sum(t.rows_out for t in self.tasks)
+
+
+def _split_task_result(result) -> tuple[list, int, int]:
+    """Normalise a task return value to (rows, peak_held, comparisons).
+
+    Tasks may return bare ``rows``, ``(rows, peak_held_rows)`` or
+    ``(rows, peak_held_rows, dominance_comparisons)``.
+    """
+    if isinstance(result, tuple) and len(result) == 3 and \
+            isinstance(result[1], int) and isinstance(result[2], int):
+        return result[0], result[1], result[2]
+    if isinstance(result, tuple) and len(result) == 2 and \
+            isinstance(result[1], int):
+        return result[0], result[1], 0
+    return result, 0, 0
 
 
 def _makespan(durations: list[float], workers: int) -> tuple[float,
@@ -112,14 +133,21 @@ def _makespan(durations: list[float], workers: int) -> tuple[float,
 class ExecutionContext:
     """Per-query execution state: config plus recorded metrics.
 
-    Physical operators call :meth:`run_task` around each partition's work
-    and :meth:`record_shuffle` when they move rows between partitions.
-    After execution, :meth:`simulated_time_s` and :meth:`peak_memory_mb`
-    derive the quantities the paper's figures plot.
+    Physical operators call :meth:`run_stage` with the batch of partition
+    tasks of one stage (or :meth:`run_task` for a single task) and
+    :meth:`record_shuffle` when they move rows between partitions.  The
+    tasks execute on a pluggable :class:`~repro.engine.backends.Backend`
+    -- sequentially in-process by default, or on a thread/process pool
+    for real parallelism.  After execution, :meth:`simulated_time_s` and
+    :meth:`peak_memory_mb` derive the quantities the paper's figures
+    plot, while :meth:`real_time_s` reports the host wall-clock time the
+    backend actually spent.
     """
 
-    def __init__(self, config: ClusterConfig | None = None) -> None:
+    def __init__(self, config: ClusterConfig | None = None,
+                 backend: Backend | None = None) -> None:
         self.config = config or ClusterConfig()
+        self.backend = backend or LocalBackend()
         self.stages: list[StageMetrics] = []
         self._stage_index: dict[str, StageMetrics] = {}
         #: Total dominance comparisons, filled in by skyline operators.
@@ -151,27 +179,59 @@ class ExecutionContext:
         stage.parallelizable = stage.parallelizable and parallelizable
         return stage
 
+    def run_stage(self, stage: str, tasks: Sequence[StageTask],
+                  parallelizable: bool = True) -> list:
+        """Run one stage's partition tasks on the backend.
+
+        Each task's callable returns ``rows``, ``(rows, peak_held_rows)``
+        or ``(rows, peak_held_rows, dominance_comparisons)``; metrics are
+        recorded per task and the per-partition row lists are returned in
+        task order (deterministic across backends).
+        """
+        self.check_deadline()
+        if self.deadline is not None:
+            tasks = [self._deadline_wrapped(task) for task in tasks]
+        metrics = self.stage(stage, parallelizable)
+        start = time.perf_counter()
+        outcomes = self.backend.run_stage(tasks)
+        metrics.real_time_s += time.perf_counter() - start
+        results = []
+        for task, outcome in zip(tasks, outcomes):
+            rows, peak_held, comparisons = _split_task_result(outcome.result)
+            self.dominance_comparisons += comparisons
+            metrics.tasks.append(TaskMetrics(
+                stage=stage, partition=task.partition,
+                duration_s=outcome.duration_s, rows_in=task.rows_in,
+                rows_out=len(rows), peak_held_rows=peak_held))
+            results.append(rows)
+        return results
+
+    def _deadline_wrapped(self, task: StageTask) -> StageTask:
+        """Per-task budget check for driver-side execution.
+
+        Restores the pre-backend behaviour where every partition task
+        re-checked the deadline: local/thread backends run the wrapped
+        ``fn``; process backends still ship the unwrapped picklable
+        payload (workers cannot see the driver's clock -- the budget is
+        then enforced between stages).
+        """
+        inner = task.fn if task.fn is not None else \
+            (lambda: task.func(*task.args))
+
+        def wrapped():
+            self.check_deadline()
+            return inner()
+
+        return replace(task, fn=wrapped)
+
     def run_task(self, stage: str, partition: int, fn, rows_in: int,
                  parallelizable: bool = True):
         """Run ``fn()`` as one task, measuring and recording it.
 
         ``fn`` returns either ``rows`` or ``(rows, peak_held_rows)``.
         """
-        self.check_deadline()
-        start = time.perf_counter()
-        result = fn()
-        duration = time.perf_counter() - start
-        peak_held = 0
-        if isinstance(result, tuple) and len(result) == 2 and \
-                isinstance(result[1], int):
-            rows, peak_held = result
-        else:
-            rows = result
-        metrics = self.stage(stage, parallelizable)
-        metrics.tasks.append(TaskMetrics(
-            stage=stage, partition=partition, duration_s=duration,
-            rows_in=rows_in, rows_out=len(rows), peak_held_rows=peak_held))
-        return rows
+        task = StageTask(partition=partition, rows_in=rows_in, fn=fn)
+        return self.run_stage(stage, [task], parallelizable)[0]
 
     def record_shuffle(self, stage: str, rows: int) -> None:
         self.stage(stage).shuffled_rows += rows
@@ -222,6 +282,15 @@ class ExecutionContext:
             peak_data_bytes = max(peak_data_bytes, stage_bytes)
         return base + peak_data_bytes * cfg.memory_scale / (1024.0 * 1024.0)
 
+    def real_time_s(self) -> float:
+        """Host wall-clock time the backend spent executing stages.
+
+        Contrast with :meth:`simulated_time_s`: with a parallel backend
+        this shrinks as tasks overlap, which is what lets the executor-
+        scaling curves be validated against real speedups.
+        """
+        return sum(s.real_time_s for s in self.stages)
+
     def total_task_time_s(self) -> float:
         return sum(t.duration_s for s in self.stages for t in s.tasks)
 
@@ -232,7 +301,9 @@ class ExecutionContext:
     def summary(self) -> dict:
         """Compact dictionary of the headline metrics."""
         return {
+            "backend": self.backend.name,
             "simulated_time_s": self.simulated_time_s(),
+            "real_time_s": self.real_time_s(),
             "peak_memory_mb": self.peak_memory_mb(),
             "total_task_time_s": self.total_task_time_s(),
             "dominance_comparisons": self.dominance_comparisons,

@@ -17,7 +17,7 @@ aggregates skip nulls.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from ..core.dominance import DimensionKind
 from ..errors import AnalysisError

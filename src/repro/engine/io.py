@@ -14,8 +14,8 @@ from pathlib import Path
 from typing import Sequence
 
 from ..errors import AnalysisError
-from .row import Field, Schema, infer_schema
-from .types import BOOLEAN, DOUBLE, INTEGER, STRING, DataType
+from .row import Schema, infer_schema
+from .types import BOOLEAN, DOUBLE, INTEGER, DataType
 
 
 def _parse_value(text: str, dtype: DataType):

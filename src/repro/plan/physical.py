@@ -18,12 +18,11 @@ import functools
 import itertools
 from typing import Any, Callable, Sequence
 
-from ..core.bnl import bnl_skyline
-from ..core.dominance import (BoundDimension, DominanceStats,
-                              dominates_incomplete, null_bitmap)
-from ..core.incomplete import flagged_global_skyline
-from ..core.sfs import sfs_skyline
+from ..core.algorithms import (global_flagged_task, local_bnl_incomplete_task,
+                               local_bnl_task, local_sfs_task)
+from ..core.dominance import BoundDimension, null_bitmap
 from ..engine import expressions as E
+from ..engine.backends import StageTask
 from ..engine.cluster import ExecutionContext
 from ..engine.rdd import RDD
 from ..errors import ExecutionError
@@ -140,10 +139,10 @@ class ScanExec(PhysicalPlan):
     def execute(self, ctx: ExecutionContext) -> RDD:
         num_partitions = ctx.config.default_parallelism
         rdd = RDD.from_rows(self.rows, num_partitions)
-        stage = self.stage_name()
-        for i, partition in enumerate(rdd.partitions):
-            rows = partition
-            ctx.run_task(stage, i, lambda rows=rows: rows, len(rows))
+        tasks = [StageTask(partition=i, rows_in=len(partition),
+                           fn=lambda rows=partition: rows)
+                 for i, partition in enumerate(rdd.partitions)]
+        ctx.run_stage(self.stage_name(), tasks)
         return rdd
 
     def node_description(self) -> str:
@@ -168,14 +167,14 @@ class FilterExec(PhysicalPlan):
     def execute(self, ctx: ExecutionContext) -> RDD:
         _prepare_subqueries(self.condition, ctx)
         child_rdd = self.children[0].execute(ctx)
-        stage = self.stage_name()
         predicate = self.condition.eval
-        result = []
+        tasks = []
         for i, partition in enumerate(child_rdd.partitions):
             def task(rows=partition):
                 return [row for row in rows if predicate(row) is True]
-            result.append(ctx.run_task(stage, i, task, len(partition)))
-        return RDD(result)
+            tasks.append(StageTask(partition=i, rows_in=len(partition),
+                                   fn=task))
+        return RDD(ctx.run_stage(self.stage_name(), tasks))
 
     def node_description(self) -> str:
         return f"Filter({self.condition!r})"
@@ -198,14 +197,14 @@ class ProjectExec(PhysicalPlan):
         for projection in self.projections:
             _prepare_subqueries(projection, ctx)
         child_rdd = self.children[0].execute(ctx)
-        stage = self.stage_name()
         evaluators = [p.eval for p in self.projections]
-        result = []
+        tasks = []
         for i, partition in enumerate(child_rdd.partitions):
             def task(rows=partition):
                 return [tuple(ev(row) for ev in evaluators) for row in rows]
-            result.append(ctx.run_task(stage, i, task, len(partition)))
-        return RDD(result)
+            tasks.append(StageTask(partition=i, rows_in=len(partition),
+                                   fn=task))
+        return RDD(ctx.run_stage(self.stage_name(), tasks))
 
 
 class LimitExec(PhysicalPlan):
@@ -477,7 +476,7 @@ class HashJoinExec(PhysicalPlan):
         matched_right: set[int] = set()
         right_index = {id(row): i for i, row in enumerate(right_rows)}
 
-        result_partitions = []
+        tasks = []
         for i, partition in enumerate(left_rdd.partitions):
             def task(rows=partition):
                 out = []
@@ -507,8 +506,9 @@ class HashJoinExec(PhysicalPlan):
                         out.append(left_row + null_right)
                 return out
 
-            result_partitions.append(
-                ctx.run_task(stage, i, task, len(partition)))
+            tasks.append(StageTask(partition=i, rows_in=len(partition),
+                                   fn=task))
+        result_partitions = ctx.run_stage(stage, tasks)
 
         if join_type == L.JoinType.RIGHT_OUTER:
             return self._right_outer(ctx, left_rdd, right_rows, stage)
@@ -546,7 +546,7 @@ class HashJoinExec(PhysicalPlan):
                         continue
                     kept.append(left_row)
                 if kept:
-                    out.extend(l + right_row for l in kept)
+                    out.extend(left + right_row for left in kept)
                 else:
                     out.append(null_left + right_row)
             return out
@@ -594,7 +594,7 @@ class BroadcastNestedLoopJoinExec(PhysicalPlan):
         join_type = self.join_type
         null_right = (None,) * len(self.children[1].output)
 
-        result_partitions = []
+        tasks = []
         for i, partition in enumerate(left_rdd.partitions):
             def task(rows=partition):
                 out = []
@@ -629,9 +629,9 @@ class BroadcastNestedLoopJoinExec(PhysicalPlan):
                         out.append(left_row + null_right)
                 return out
 
-            result_partitions.append(
-                ctx.run_task(stage, i, task, len(partition)))
-        return RDD(result_partitions)
+            tasks.append(StageTask(partition=i, rows_in=len(partition),
+                                   fn=task))
+        return RDD(ctx.run_stage(stage, tasks))
 
     def node_description(self) -> str:
         return f"BroadcastNestedLoopJoin({self.join_type})"
@@ -671,6 +671,28 @@ def _bind_dimensions(items: Sequence[E.SkylineDimension],
     return dims
 
 
+def _local_skyline_tasks(ctx: ExecutionContext,
+                         partitions: Sequence[list[tuple]],
+                         func: Callable, extra_args: tuple
+                         ) -> list[StageTask]:
+    """Per-partition skyline tasks in both execution flavours.
+
+    ``fn`` is a deadline-aware in-process closure (used by the local and
+    thread backends); ``func``/``args`` is the picklable payload process
+    backends ship to workers (workers cannot see the driver's deadline
+    clock, so the budget is checked between stages instead).
+    """
+    tasks = []
+    for i, partition in enumerate(partitions):
+        args = (partition, *extra_args)
+        tasks.append(StageTask(
+            partition=i, rows_in=len(partition),
+            fn=functools.partial(func, *args,
+                                 check_deadline=ctx.check_deadline),
+            func=func, args=args))
+    return tasks
+
+
 class SkylineLocalExec(PhysicalPlan):
     """Local (per-partition) BNL skyline -- the distributed stage.
 
@@ -693,19 +715,10 @@ class SkylineLocalExec(PhysicalPlan):
 
     def execute(self, ctx: ExecutionContext) -> RDD:
         child_rdd = self.children[0].execute(ctx)
-        stage = self.stage_name()
-        dims = self.dims
-        result = []
-        for i, partition in enumerate(child_rdd.partitions):
-            def task(rows=partition):
-                stats = DominanceStats()
-                skyline = bnl_skyline(rows, dims, distinct=self.distinct,
-                                      stats=stats,
-                                      check_deadline=ctx.check_deadline)
-                ctx.dominance_comparisons += stats.comparisons
-                return skyline, stats.window_peak
-            result.append(ctx.run_task(stage, i, task, len(partition)))
-        return RDD(result)
+        tasks = _local_skyline_tasks(ctx, child_rdd.partitions,
+                                     local_bnl_task,
+                                     (self.dims, self.distinct))
+        return RDD(ctx.run_stage(self.stage_name(), tasks))
 
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
@@ -732,16 +745,9 @@ class SkylineGlobalCompleteExec(PhysicalPlan):
         stage = self.stage_name()
         rows = child_rdd.collect()
         ctx.record_shuffle(stage, len(rows))
-        dims = self.dims
-
-        def task():
-            stats = DominanceStats()
-            skyline = bnl_skyline(rows, dims, distinct=self.distinct,
-                                  stats=stats,
-                                  check_deadline=ctx.check_deadline)
-            ctx.dominance_comparisons += stats.comparisons
-            return skyline, stats.window_peak
-
+        task = functools.partial(local_bnl_task, rows, self.dims,
+                                 self.distinct,
+                                 check_deadline=ctx.check_deadline)
         result = ctx.run_task(stage, 0, task, len(rows),
                               parallelizable=False)
         return RDD([result])
@@ -780,18 +786,9 @@ class SkylineLocalIncompleteExec(PhysicalPlan):
         ctx.record_shuffle(stage, child_rdd.count())
         partitioned = child_rdd.partition_by_key(
             lambda row: null_bitmap(row, dims))
-        result = []
-        for i, partition in enumerate(partitioned.partitions):
-            def task(rows=partition):
-                stats = DominanceStats()
-                skyline = bnl_skyline(rows, dims, distinct=False,
-                                      stats=stats,
-                                      dominance=dominates_incomplete,
-                                      check_deadline=ctx.check_deadline)
-                ctx.dominance_comparisons += stats.comparisons
-                return skyline, stats.window_peak
-            result.append(ctx.run_task(stage, i, task, len(partition)))
-        return RDD(result)
+        tasks = _local_skyline_tasks(ctx, partitioned.partitions,
+                                     local_bnl_incomplete_task, (dims,))
+        return RDD(ctx.run_stage(stage, tasks))
 
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
@@ -822,16 +819,9 @@ class SkylineGlobalIncompleteExec(PhysicalPlan):
         stage = self.stage_name()
         rows = child_rdd.collect()
         ctx.record_shuffle(stage, len(rows))
-        dims = self.dims
-
-        def task():
-            stats = DominanceStats()
-            skyline = flagged_global_skyline(
-                rows, dims, distinct=self.distinct, stats=stats,
-                check_deadline=ctx.check_deadline)
-            ctx.dominance_comparisons += stats.comparisons
-            return skyline, stats.window_peak
-
+        task = functools.partial(global_flagged_task, rows, self.dims,
+                                 self.distinct,
+                                 check_deadline=ctx.check_deadline)
         result = ctx.run_task(stage, 0, task, len(rows),
                               parallelizable=False)
         return RDD([result])
@@ -860,19 +850,10 @@ class SkylineLocalSFSExec(PhysicalPlan):
 
     def execute(self, ctx: ExecutionContext) -> RDD:
         child_rdd = self.children[0].execute(ctx)
-        stage = self.stage_name()
-        dims = self.dims
-        result = []
-        for i, partition in enumerate(child_rdd.partitions):
-            def task(rows=partition):
-                stats = DominanceStats()
-                skyline = sfs_skyline(rows, dims, distinct=self.distinct,
-                                      stats=stats,
-                                      check_deadline=ctx.check_deadline)
-                ctx.dominance_comparisons += stats.comparisons
-                return skyline, stats.window_peak
-            result.append(ctx.run_task(stage, i, task, len(partition)))
-        return RDD(result)
+        tasks = _local_skyline_tasks(ctx, child_rdd.partitions,
+                                     local_sfs_task,
+                                     (self.dims, self.distinct))
+        return RDD(ctx.run_stage(self.stage_name(), tasks))
 
 
 class SkylineGlobalSFSExec(PhysicalPlan):
@@ -895,16 +876,9 @@ class SkylineGlobalSFSExec(PhysicalPlan):
         stage = self.stage_name()
         rows = child_rdd.collect()
         ctx.record_shuffle(stage, len(rows))
-        dims = self.dims
-
-        def task():
-            stats = DominanceStats()
-            skyline = sfs_skyline(rows, dims, distinct=self.distinct,
-                                  stats=stats,
-                                  check_deadline=ctx.check_deadline)
-            ctx.dominance_comparisons += stats.comparisons
-            return skyline, stats.window_peak
-
+        task = functools.partial(local_sfs_task, rows, self.dims,
+                                 self.distinct,
+                                 check_deadline=ctx.check_deadline)
         result = ctx.run_task(stage, 0, task, len(rows),
                               parallelizable=False)
         return RDD([result])

@@ -4,7 +4,6 @@ import pytest
 
 from repro import (AnalysisError, col, count, lit, sdiff, smax, smin,
                    sql_min)
-from repro.engine import expressions as E
 
 
 class TestTransformations:

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import (DOUBLE, INTEGER, STRING, BenchmarkTimeout,
-                   SkylineSession)
+from repro import (INTEGER, STRING, BenchmarkTimeout, SkylineSession)
 from repro.engine.cluster import ClusterConfig
 from repro.engine.row import Field, Schema
 
@@ -91,3 +90,45 @@ class TestQueryExecution:
         assert "Optimized Logical Plan" in text
         assert "Physical Plan" in text
         assert "Skyline" in text
+
+
+class TestBackendConfiguration:
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            SkylineSession(backend="gpu")
+
+    def test_clone_shares_lazily_created_pool(self):
+        # The pool must be shared even when the clone is created before
+        # the backend is materialised: exactly one pool per session tree.
+        session = SkylineSession(backend="thread", num_workers=2)
+        clone = session.with_executors(5)
+        assert session.backend is clone.backend
+        session.close()
+
+    def test_close_through_any_sharer_closes_the_one_pool(self):
+        from repro.engine.backends import StageTask
+        session = SkylineSession(backend="thread", num_workers=2)
+        clone = session.with_executors(3)
+        backend = clone.backend
+        # Materialise the pool (a multi-task stage bypasses the inline
+        # short-cut), then close through the *other* sharer.
+        backend.run_stage([StageTask(partition=i, rows_in=0, fn=list)
+                           for i in range(2)])
+        assert backend._pool is not None
+        session.close()
+        assert backend._pool is None
+
+    def test_with_backend_gets_its_own_spec(self):
+        session = SkylineSession(backend="local")
+        clone = session.with_backend("thread", num_workers=2)
+        assert session.backend.name == "local"
+        assert clone.backend.name == "thread"
+        assert session.catalog is clone.catalog
+        clone.close()
+
+    def test_backend_instance_passthrough(self):
+        from repro.engine.backends import LocalBackend
+        backend = LocalBackend()
+        session = SkylineSession(backend=backend)
+        assert session.backend is backend
+        assert session.with_executors(4).backend is backend

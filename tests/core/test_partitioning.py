@@ -88,6 +88,35 @@ class TestCellPruning:
         for member in expected:
             assert member in remaining
 
+    def test_empty_grid(self):
+        assert prune_dominated_cells({}) == {}
+
+    def test_single_cell_survives(self):
+        cells = {(3, 3): [(9.0, 9.0)]}
+        assert prune_dominated_cells(cells) == cells
+
+    def test_all_cells_dominated_by_best_corner(self):
+        # A diagonal chain: (0,0) strictly dominates every other cell,
+        # so only it survives.
+        cells = {(i, i): [(float(i), float(i))] for i in range(4)}
+        survivors = prune_dominated_cells(cells)
+        assert list(survivors) == [(0, 0)]
+
+    def test_incomparable_cells_all_survive(self):
+        # Anti-diagonal cells never strictly dominate each other.
+        cells = {(0, 2): [(0.0, 8.0)], (1, 1): [(4.0, 4.0)],
+                 (2, 0): [(8.0, 0.0)]}
+        assert prune_dominated_cells(cells) == cells
+
+    def test_mismatched_coordinate_lengths_never_dominate(self):
+        cells = {(0,): [(1.0,)], (1, 1): [(2.0, 2.0)]}
+        assert prune_dominated_cells(cells) == cells
+
+    def test_equal_cells_do_not_self_dominate(self):
+        # Equality on every coordinate is not strict dominance.
+        cells = {(1, 1): [(2.0, 2.0)]}
+        assert prune_dominated_cells(cells) == cells
+
 
 class TestAnglePartitions:
     def test_partition_count_respected(self):
