@@ -1,0 +1,46 @@
+"""Mixed-workload ablation: adaptive planning vs fixed strategies.
+
+The statistics-driven adaptive planner (Section 7's cost-based
+selection, extended to partitioning and parallelism) is run over a mix
+of workload classes with opposing needs, against every fixed
+(algorithm x partitioning) combination.  Asserts the headline claims:
+adaptive selection is never slower than the worst fixed strategy,
+matches the best fixed strategy on the whole mix, and strictly beats
+the best fixed strategy on at least one workload class.
+"""
+
+from helpers import SCALE, record
+
+from repro.bench.adaptive import render_report, run_adaptive_bench
+
+
+def test_adaptive_beats_fixed_strategies():
+    report = run_adaptive_bench(scale=SCALE)
+    text = render_report(report)
+    record("ablation_adaptive_planning", text)
+
+    adaptive_total = report["adaptive_total"]
+    fixed_totals = report["fixed_totals"]
+    best = report["best_fixed"]
+    worst = report["worst_fixed"]
+
+    # Never slower than the worst fixed strategy -- by a wide margin.
+    assert adaptive_total <= fixed_totals[worst], (
+        f"adaptive ({adaptive_total:.3f}s) slower than the worst fixed "
+        f"strategy {worst} ({fixed_totals[worst]:.3f}s)")
+
+    # Matches or beats every fixed strategy on the whole mix (small
+    # tolerance for measurement noise in the task timings).
+    for label, total in fixed_totals.items():
+        assert adaptive_total <= total * 1.10, (
+            f"adaptive ({adaptive_total:.3f}s) lost to fixed {label} "
+            f"({total:.3f}s)")
+
+    # Strictly beats the best overall fixed strategy on at least one
+    # workload class: no single fixed choice is good everywhere.
+    best_times = report["fixed"][best]
+    wins = [name for name in report["classes"]
+            if report["adaptive"][name] < best_times[name]]
+    assert wins, (
+        f"adaptive never beat the best fixed strategy {best} on any "
+        f"class: adaptive={report['adaptive']}, fixed={best_times}")

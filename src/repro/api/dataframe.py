@@ -161,6 +161,14 @@ class DataFrame:
         user asserts no nulls occur in the skyline dimensions, so the
         faster complete algorithm may be chosen regardless of schema
         nullability (Section 5.5).
+
+        >>> from repro import SkylineSession, smin, smax
+        >>> session = SkylineSession()
+        >>> df = session.create_dataframe(
+        ...     [(120.0, 4.5), (90.0, 4.0), (250.0, 4.9), (150.0, 3.0)],
+        ...     ["price", "rating"])
+        >>> sorted(df.skyline(smin("price"), smax("rating")).to_tuples())
+        [(90.0, 4.0), (120.0, 4.5), (250.0, 4.9)]
         """
         if not dimensions:
             raise AnalysisError("skyline() requires at least one dimension")
@@ -181,8 +189,16 @@ class DataFrame:
         """Skyline over ``(column_name, kind)`` pairs.
 
         Mirrors the paired list-of-strings input of the paper's
-        PySpark/R bridges, e.g. ``df.skyline_of([("price", "min"),
-        ("rating", "max")])``.
+        PySpark/R bridges.
+
+        >>> from repro import SkylineSession
+        >>> session = SkylineSession()
+        >>> df = session.create_dataframe(
+        ...     [(120.0, 4.5), (90.0, 4.0), (250.0, 4.9), (150.0, 3.0)],
+        ...     ["price", "rating"])
+        >>> result = df.skyline_of([("price", "min"), ("rating", "max")])
+        >>> len(result.collect())
+        3
         """
         items = [E.SkylineDimension(_col(name), DimensionKind.of(kind))
                  for name, kind in dimensions]
@@ -233,6 +249,23 @@ class DataFrame:
         return text
 
     def explain(self) -> str:
+        """Print and return the analyzed/optimized/physical plans.
+
+        Skyline queries include a ``== Skyline Strategy ==`` section:
+        the chosen algorithm, partitioning scheme and partition count,
+        with the statistics that drove each choice.
+
+        >>> from repro import SkylineSession, smin
+        >>> session = SkylineSession(adaptive=True)
+        >>> df = session.create_dataframe(
+        ...     [(1.0, 2.0), (2.0, 1.0)], ["a", "b"]
+        ...     ).skyline(smin("a"), smin("b"))
+        >>> text = session.explain(df.plan)  # explain() also prints
+        >>> "== Skyline Strategy ==" in text
+        True
+        >>> "algorithm" in text and "partitioning" in text
+        True
+        """
         text = self._session.explain(self._plan)
         print(text)
         return text

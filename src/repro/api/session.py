@@ -12,15 +12,18 @@ from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
 from ..engine import expressions as E
-from ..engine.backends import Backend, BackendSpec
+from ..engine.backends import (Backend, BackendSpec, default_num_workers)
 from ..engine.catalog import Catalog, ForeignKey, Table
 from ..engine.cluster import ClusterConfig, ExecutionContext
 from ..engine.row import Field, Row, Schema, infer_schema
+from ..engine.types import DOUBLE, INTEGER, STRING
 from ..plan.analyzer import Analyzer
-from ..plan.logical import LocalRelation, LogicalPlan, tree_string
+from ..plan.logical import (AnalyzeTable, LocalRelation, LogicalPlan,
+                            tree_string)
 from ..plan.optimizer import Optimizer
 from ..plan.physical import physical_tree_string
-from ..plan.planner import SKYLINE_STRATEGIES, Planner
+from ..plan.planner import (PARTITIONING_SCHEMES, SKYLINE_STRATEGIES,
+                            Planner)
 from ..sql.parser import parse_query
 
 
@@ -52,14 +55,43 @@ class QueryResult:
 class SkylineSession:
     """Entry point for SQL and DataFrame queries with skyline support.
 
+    >>> from repro import SkylineSession, DOUBLE, STRING
+    >>> session = SkylineSession(num_executors=2)
+    >>> _ = session.create_table(
+    ...     "hotels",
+    ...     [("name", STRING, False), ("price", DOUBLE, False),
+    ...      ("rating", DOUBLE, False)],
+    ...     [("A", 120.0, 4.5), ("B", 90.0, 4.0), ("C", 150.0, 3.0)])
+    >>> sorted(session.sql(
+    ...     "SELECT name FROM hotels "
+    ...     "SKYLINE OF price MIN, rating MAX").to_tuples())
+    [('A',), ('B',)]
+
     Parameters
     ----------
     num_executors:
         Simulated executor count (the paper's ``--num-executors``).
     skyline_algorithm:
-        ``auto`` (Listing 8 selection), or an override forcing one of
-        ``distributed-complete``, ``non-distributed-complete``,
-        ``distributed-incomplete``, ``sfs``.
+        ``auto`` (Listing 8 selection), ``adaptive``/``cost-based``
+        (statistics-driven selection, see ``adaptive``), or an override
+        forcing one of ``distributed-complete``,
+        ``non-distributed-complete``, ``distributed-incomplete``,
+        ``sfs``.
+    adaptive:
+        Shorthand for ``skyline_algorithm="adaptive"``: the planner
+        consults cached table statistics (:mod:`repro.stats`) to choose
+        the algorithm, the local-stage partitioning scheme and the
+        partition count per query.  ``DataFrame.explain()`` reports the
+        decision together with the statistics that drove it.
+    skyline_partitioning:
+        Forces the local-stage partitioning scheme: ``keep`` (the
+        paper's default -- inherit the scan's partitioning), ``random``,
+        ``grid`` or ``angle``.  Applies to the distributed complete and
+        SFS strategies; used by the benchmarks to evaluate fixed
+        algorithm x partitioning combinations.
+    skyline_partitions:
+        Partition count used with a forced partitioning scheme
+        (default: ``num_executors``).
     enable_skyline_optimizations:
         Toggles the Section 5.4 optimizer rules (single-dimension rewrite
         and skyline-through-join pushdown); on by default.
@@ -80,20 +112,40 @@ class SkylineSession:
                  enable_skyline_optimizations: bool = True,
                  cluster_config: ClusterConfig | None = None,
                  backend: "str | Backend" = "local",
-                 num_workers: int | None = None) -> None:
+                 num_workers: int | None = None,
+                 adaptive: bool = False,
+                 skyline_partitioning: str = "keep",
+                 skyline_partitions: int | None = None) -> None:
+        if adaptive:
+            if skyline_algorithm not in ("auto", "adaptive"):
+                raise ValueError(
+                    "adaptive=True conflicts with skyline_algorithm="
+                    f"{skyline_algorithm!r}")
+            skyline_algorithm = "adaptive"
         if skyline_algorithm not in SKYLINE_STRATEGIES:
             raise ValueError(
                 f"unknown skyline_algorithm {skyline_algorithm!r}; expected "
                 f"one of {SKYLINE_STRATEGIES}")
+        if skyline_partitioning not in PARTITIONING_SCHEMES:
+            raise ValueError(
+                f"unknown skyline_partitioning {skyline_partitioning!r}; "
+                f"expected one of {PARTITIONING_SCHEMES}")
         base = cluster_config or ClusterConfig()
         self.cluster_config = replace(base, num_executors=num_executors)
         self.skyline_algorithm = skyline_algorithm
+        self.skyline_partitioning = skyline_partitioning
+        self.skyline_partitions = skyline_partitions
         self.enable_skyline_optimizations = enable_skyline_optimizations
         self.catalog = Catalog()
         self._time_budget_s: float | None = None
         # Validates the name eagerly; the pool itself is lazy.  Clones
         # share this spec by reference so at most one pool exists.
         self._backend_spec = BackendSpec(backend, num_workers)
+
+    @property
+    def adaptive(self) -> bool:
+        """True when the statistics-driven adaptive planner is active."""
+        return self.skyline_algorithm == "adaptive"
 
     # -- configuration ------------------------------------------------------
 
@@ -122,7 +174,9 @@ class SkylineSession:
             num_executors=num_executors,
             skyline_algorithm=self.skyline_algorithm,
             enable_skyline_optimizations=self.enable_skyline_optimizations,
-            cluster_config=self.cluster_config)
+            cluster_config=self.cluster_config,
+            skyline_partitioning=self.skyline_partitioning,
+            skyline_partitions=self.skyline_partitions)
         clone.catalog = self.catalog
         clone._time_budget_s = self._time_budget_s
         clone._backend_spec = self._backend_spec
@@ -141,6 +195,17 @@ class SkylineSession:
         if algorithm not in SKYLINE_STRATEGIES:
             raise ValueError(f"unknown skyline_algorithm {algorithm!r}")
         clone.skyline_algorithm = algorithm
+        return clone
+
+    def with_skyline_partitioning(self, scheme: str,
+                                  num_partitions: int | None = None
+                                  ) -> "SkylineSession":
+        """A session forcing a local-stage partitioning scheme."""
+        if scheme not in PARTITIONING_SCHEMES:
+            raise ValueError(f"unknown partitioning scheme {scheme!r}")
+        clone = self.with_executors(self.cluster_config.num_executors)
+        clone.skyline_partitioning = scheme
+        clone.skyline_partitions = num_partitions
         return clone
 
     def set_time_budget(self, seconds: float | None) -> None:
@@ -212,10 +277,43 @@ class SkylineSession:
         self.catalog.lookup(name)  # fail fast on unknown tables
         return DataFrame(SubqueryAlias(name, UnresolvedRelation(name)), self)
 
+    # -- statistics ---------------------------------------------------------
+
+    def table_stats(self, name: str):
+        """Statistics for a registered table (collected lazily, cached).
+
+        >>> from repro import SkylineSession, INTEGER
+        >>> session = SkylineSession()
+        >>> _ = session.create_table(
+        ...     "t", [("a", INTEGER, False)], [(1,), (2,), (3,)])
+        >>> session.table_stats("t").num_rows
+        3
+        >>> session.table_stats("t").column("a").max_value
+        3
+        """
+        return self.catalog.statistics(name)
+
+    def stats_refresh(self, name: str | None = None) -> dict:
+        """Force statistics re-collection for one table (or all).
+
+        Returns ``{table_name: TableStats}``.  Equivalent to running
+        ``ANALYZE TABLE name COMPUTE STATISTICS`` per table; use it
+        after mutating a table's rows in place, which the staleness
+        check cannot detect.
+        """
+        names = [name] if name is not None else self.catalog.table_names()
+        return {n: self.catalog.statistics(n, refresh=True)
+                for n in names}
+
     # -- the pipeline -------------------------------------------------------------
 
     def sql(self, query: str) -> "DataFrame":
-        """Parse a SQL query (skyline syntax included) into a DataFrame."""
+        """Parse a SQL statement into a DataFrame.
+
+        Accepts the skyline-extended ``SELECT`` grammar (Listing 5 of
+        the paper) plus the ``ANALYZE TABLE name [COMPUTE STATISTICS]``
+        command feeding the statistics store.
+        """
         from .dataframe import DataFrame
         return DataFrame(parse_query(query), self)
 
@@ -228,11 +326,61 @@ class SkylineSession:
             enable_skyline_rules=self.enable_skyline_optimizations)
         return optimizer.optimize(plan)
 
+    def _planner(self) -> Planner:
+        """A planner wired to this session's catalog and backend."""
+        spec = self._backend_spec
+        max_workers = spec.num_workers
+        if max_workers is None and spec.name in ("thread", "process"):
+            max_workers = default_num_workers()
+        return Planner(
+            self.skyline_algorithm, catalog=self.catalog,
+            num_executors=self.cluster_config.num_executors,
+            max_workers=max_workers,
+            partitioning=self.skyline_partitioning,
+            num_partitions=self.skyline_partitions)
+
+    _ANALYZE_SCHEMA = Schema([
+        Field("table_name", STRING, False),
+        Field("column_name", STRING, False),
+        Field("num_rows", INTEGER, False),
+        Field("num_nulls", INTEGER, False),
+        Field("null_fraction", DOUBLE, False),
+        Field("min", STRING, True),
+        Field("max", STRING, True),
+        Field("num_distinct", INTEGER, False),
+        Field("histogram_buckets", INTEGER, False),
+    ])
+
+    def _run_command(self, plan: LogicalPlan) -> "QueryResult | None":
+        """Execute command nodes that bypass the physical planner."""
+        if not isinstance(plan, AnalyzeTable):
+            return None
+        stats = self.catalog.statistics(plan.name, refresh=True)
+        schema = self._ANALYZE_SCHEMA
+        rows = []
+        for column in stats.columns.values():
+            histogram = column.histogram
+            rows.append(Row((
+                stats.table_name, column.name, stats.num_rows,
+                column.num_nulls, column.null_fraction,
+                None if column.min_value is None
+                else str(column.min_value),
+                None if column.max_value is None
+                else str(column.max_value),
+                column.num_distinct,
+                0 if histogram is None else histogram.num_buckets,
+            ), schema))
+        ctx = ExecutionContext(self.cluster_config, backend=self.backend)
+        return QueryResult(rows=rows, schema=schema, context=ctx)
+
     def execute(self, plan: LogicalPlan) -> QueryResult:
         """Run the full pipeline on a logical plan."""
+        command = self._run_command(plan)
+        if command is not None:
+            return command
         analyzed = self.analyze(plan)
         optimized = self.optimize(analyzed)
-        physical = Planner(self.skyline_algorithm).plan(optimized)
+        physical = self._planner().plan(optimized)
         ctx = ExecutionContext(self.cluster_config, backend=self.backend)
         ctx.set_budget(self._time_budget_s)
         rdd = physical.execute(ctx)
@@ -242,15 +390,30 @@ class SkylineSession:
         return QueryResult(rows=rows, schema=schema, context=ctx)
 
     def explain(self, plan: LogicalPlan) -> str:
-        """Analyzed, optimized and physical plans as a printable string."""
+        """Analyzed, optimized and physical plans as a printable string.
+
+        Skyline queries additionally get a ``== Skyline Strategy ==``
+        section reporting the chosen algorithm, partitioning scheme and
+        partition count together with the statistics that drove each
+        choice (populated by the cost model for ``adaptive`` /
+        ``cost-based`` sessions, and with the forced configuration
+        otherwise).
+        """
+        if isinstance(plan, AnalyzeTable):
+            return "== Command ==\n" + plan.node_description()
         analyzed = self.analyze(plan)
         optimized = self.optimize(analyzed)
-        physical = Planner(self.skyline_algorithm).plan(optimized)
-        return "\n".join([
+        planner = self._planner()
+        physical = planner.plan(optimized)
+        sections = [
             "== Analyzed Logical Plan ==",
             tree_string(analyzed),
             "== Optimized Logical Plan ==",
             tree_string(optimized),
             "== Physical Plan ==",
             physical_tree_string(physical),
-        ])
+        ]
+        if planner.decisions:
+            sections.append("== Skyline Strategy ==")
+            sections.extend(d.describe() for d in planner.decisions)
+        return "\n".join(sections)

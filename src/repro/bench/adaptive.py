@@ -1,0 +1,161 @@
+"""Mixed-workload benchmark for the statistics-driven adaptive planner.
+
+Three workload classes with opposing needs:
+
+* ``interactive`` -- a burst of small queries over a tiny table.  Any
+  distributed strategy pays repartition/local-stage overhead on every
+  query; the adaptive planner picks the non-distributed algorithm.
+* ``bulk-sparse`` -- one large independent-dimension table with a tiny
+  skyline.  Grid partitioning with cell-dominance pruning discards most
+  rows before any per-tuple work; adaptive picks distributed BNL + grid.
+* ``dense`` -- anti-correlated data with a huge skyline.  BNL pays
+  quadratic window scans and a single global task is hopeless; adaptive
+  picks SFS with angle partitioning at full parallelism.
+
+Every fixed (algorithm x partitioning) combination is run over the same
+mix.  Because no fixed choice is good everywhere, adaptive selection
+matches the per-class winner and therefore beats any single fixed
+strategy on the mix -- the claim the benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..api.session import SkylineSession
+from ..datasets import (anticorrelated_rows, correlated_rows,
+                        independent_rows)
+from ..engine.cluster import ClusterConfig
+from ..engine.types import DOUBLE, INTEGER
+
+#: Steady-state latency: sessions are long-lived, so the fixed
+#: application/executor start-up costs are excluded -- they would add
+#: the same constant to every strategy and drown the per-query signal.
+_STEADY_STATE = ClusterConfig(app_startup_s=0.0, executor_startup_s=0.0)
+
+#: Fixed (algorithm, partitioning) combinations evaluated against the
+#: adaptive planner.  The non-distributed algorithm has no local stage,
+#: so partitioning schemes do not apply to it.
+FIXED_COMBOS = tuple(
+    (algorithm, scheme)
+    for algorithm in ("distributed-complete", "sfs")
+    for scheme in ("keep", "random", "grid", "angle")
+) + (("non-distributed-complete", "keep"),)
+
+_SQL = "SELECT * FROM pts SKYLINE OF d0 MIN, d1 MIN, d2 MIN"
+
+
+class WorkloadClass:
+    """One class of the mix: a table plus a query repetition count."""
+
+    def __init__(self, name: str, rows: list[tuple],
+                 repetitions: int = 1) -> None:
+        self.name = name
+        self.rows = [(i,) + tuple(r) for i, r in enumerate(rows)]
+        self.repetitions = repetitions
+
+    def session(self, **kwargs) -> SkylineSession:
+        session = SkylineSession(num_executors=4,
+                                 cluster_config=_STEADY_STATE, **kwargs)
+        columns = [("id", INTEGER, False)] + [
+            (f"d{i}", DOUBLE, False) for i in range(3)]
+        session.create_table("pts", columns, self.rows)
+        return session
+
+
+def default_classes(scale: float = 1.0) -> list[WorkloadClass]:
+    """The three default classes, sized by ``scale``."""
+    def sized(n: int) -> int:
+        return max(50, int(n * scale))
+
+    return [
+        WorkloadClass("interactive",
+                      correlated_rows(sized(300), 3, seed=1),
+                      repetitions=max(1, int(20 * scale))),
+        WorkloadClass("bulk-sparse",
+                      independent_rows(sized(8000), 3, seed=2)),
+        WorkloadClass("dense",
+                      anticorrelated_rows(sized(1600), 3, seed=3,
+                                          spread=0.02)),
+    ]
+
+
+def _run_class(workload: WorkloadClass, **session_kwargs
+               ) -> tuple[float, int]:
+    """Total simulated time and result size of one configuration."""
+    session = workload.session(**session_kwargs)
+    total = 0.0
+    result_rows = -1
+    for _ in range(workload.repetitions):
+        result = session.sql(_SQL).run()
+        total += result.simulated_time_s
+        result_rows = len(result.rows)
+    return total, result_rows
+
+
+def run_adaptive_bench(scale: float = 1.0,
+                       classes: Sequence[WorkloadClass] | None = None
+                       ) -> dict:
+    """Run the mix under adaptive and every fixed combination.
+
+    Returns a report with per-class simulated times, totals, and the
+    identity of the best/worst fixed strategies.  All configurations
+    are cross-checked to return identical skyline sizes per class.
+    """
+    classes = list(classes) if classes is not None \
+        else default_classes(scale)
+    fixed: dict[str, dict[str, float]] = {}
+    sizes: dict[str, set[int]] = {c.name: set() for c in classes}
+    for algorithm, scheme in FIXED_COMBOS:
+        label = f"{algorithm}/{scheme}"
+        fixed[label] = {}
+        for workload in classes:
+            total, rows = _run_class(
+                workload, skyline_algorithm=algorithm,
+                skyline_partitioning=scheme)
+            fixed[label][workload.name] = total
+            sizes[workload.name].add(rows)
+    adaptive: dict[str, float] = {}
+    for workload in classes:
+        total, rows = _run_class(workload, adaptive=True)
+        adaptive[workload.name] = total
+        sizes[workload.name].add(rows)
+    for name, observed in sizes.items():
+        if len(observed) != 1:
+            raise AssertionError(
+                f"configurations disagree on class {name!r}: {observed}")
+
+    fixed_totals = {label: sum(times.values())
+                    for label, times in fixed.items()}
+    best_label = min(fixed_totals, key=fixed_totals.get)
+    worst_label = max(fixed_totals, key=fixed_totals.get)
+    return {
+        "kind": "adaptive",
+        "classes": [c.name for c in classes],
+        "fixed": fixed,
+        "adaptive": adaptive,
+        "adaptive_total": sum(adaptive.values()),
+        "fixed_totals": fixed_totals,
+        "best_fixed": best_label,
+        "worst_fixed": worst_label,
+    }
+
+
+def render_report(report: dict) -> str:
+    """The report as a paper-style fixed-width table."""
+    classes = report["classes"]
+    width = max(len(label) for label in report["fixed"])
+    header = f"{'strategy':<{width}}" + "".join(
+        f"  {name:>14}" for name in classes) + f"  {'total':>10}"
+    lines = [header, "-" * len(header)]
+    rows = sorted(report["fixed"].items(),
+                  key=lambda item: sum(item[1].values()))
+    for label, times in rows:
+        line = f"{label:<{width}}" + "".join(
+            f"  {times[name]:>13.3f}s" for name in classes)
+        lines.append(line + f"  {sum(times.values()):>9.3f}s")
+    adaptive = report["adaptive"]
+    line = f"{'adaptive':<{width}}" + "".join(
+        f"  {adaptive[name]:>13.3f}s" for name in classes)
+    lines.append(line + f"  {report['adaptive_total']:>9.3f}s")
+    return "\n".join(lines)

@@ -156,6 +156,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--speedup", action="store_true",
                         help="measure local-skyline-phase speedup of the "
                              "process backend over sequential execution")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="run the mixed workload under the adaptive "
+                             "planner and every fixed algorithm x "
+                             "partitioning combination")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="size multiplier for the adaptive mix")
     parser.add_argument("--rows", type=int, default=None,
                         help="workload size override")
     parser.add_argument("--workers", type=int, default=None,
@@ -166,8 +172,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="fail unless the measured speedup reaches "
                              "this factor (use on multi-core CI runners)")
     args = parser.parse_args(argv)
-    if not (args.smoke or args.speedup):
-        parser.error("nothing to do: pass --smoke and/or --speedup")
+    if not (args.smoke or args.speedup or args.adaptive):
+        parser.error("nothing to do: pass --smoke, --speedup and/or "
+                     "--adaptive")
 
     status = 0
     if args.smoke:
@@ -196,4 +203,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"FAIL: speedup below required {args.min_speedup:.2f}x",
                   file=sys.stderr)
             status = 1
+    if args.adaptive:
+        from .adaptive import render_report, run_adaptive_bench
+        report = run_adaptive_bench(scale=args.scale)
+        print(render_report(report))
+        print(f"best fixed: {report['best_fixed']} "
+              f"({report['fixed_totals'][report['best_fixed']]:.3f}s), "
+              f"adaptive: {report['adaptive_total']:.3f}s")
     return status

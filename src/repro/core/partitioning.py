@@ -88,6 +88,10 @@ def prune_dominated_cells(cells: dict[tuple[int, ...], list[Sequence]]
     is strictly smaller (oriented: smaller is better): then the *worst*
     corner of ``d`` dominates the *best* corner of ``c``, hence every
     tuple of ``d`` dominates every tuple of ``c``.
+
+    Only sound when the skyline has no DIFF dimensions: DIFF dominance
+    additionally requires equal DIFF values, which cell coordinates do
+    not capture (:func:`partition_rows` enforces this).
     """
     occupied = list(cells.keys())
     survivors: dict[tuple[int, ...], list[Sequence]] = {}
@@ -136,12 +140,16 @@ def angle_partitions(rows: Sequence[Sequence],
 def partition_rows(rows: Sequence[Sequence],
                    dims: Sequence[BoundDimension],
                    scheme: str, num_partitions: int,
-                   prune_cells: bool = False) -> list[list[Sequence]]:
+                   prune_cells: bool = False,
+                   cells_per_dimension: int | None = None
+                   ) -> list[list[Sequence]]:
     """Uniform front door over the schemes.
 
     ``scheme`` is ``random``, ``grid`` or ``angle``; for ``grid`` the
-    partition count is rounded to a per-dimension cell count and
-    ``prune_cells`` enables cell-dominance pruning.
+    partition count is rounded to a per-dimension cell count (or taken
+    from ``cells_per_dimension`` when the caller sized the cells
+    explicitly, e.g. from column histograms) and ``prune_cells``
+    enables cell-dominance pruning.
     """
     if scheme == "random":
         return random_partitions(rows, num_partitions)
@@ -150,10 +158,13 @@ def partition_rows(rows: Sequence[Sequence],
     if scheme == "grid":
         value_dims = [d for d in dims
                       if d.kind is not DimensionKind.DIFF]
-        per_dimension = max(
+        per_dimension = cells_per_dimension or max(
             1, round(num_partitions ** (1.0 / max(1, len(value_dims)))))
         cells = grid_partitions(rows, dims, per_dimension)
-        if prune_cells:
+        if prune_cells and len(value_dims) == len(dims):
+            # Pruning is unsound with DIFF dimensions: a cell may only
+            # be deleted by tuples with *equal* DIFF values, which the
+            # grid coordinates (value dimensions only) cannot see.
             cells = prune_dominated_cells(cells)
         return list(cells.values())
     raise ValueError(f"unknown partitioning scheme {scheme!r}")

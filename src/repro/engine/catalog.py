@@ -3,7 +3,10 @@
 The analyzer "takes each identifier and translates it using the Catalog"
 (Section 4).  Tables hold their rows, a schema, and optional constraint
 metadata (primary/foreign keys) which the optimizer's non-reductive-join
-rule consults (Section 5.4).
+rule consults (Section 5.4).  The catalog also owns the statistics cache
+(:class:`~repro.stats.store.StatsStore`): per-table statistics are
+collected lazily on first use and invalidated when a table is
+re-registered or dropped.
 """
 
 from __future__ import annotations
@@ -59,12 +62,17 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        # Imported lazily at class-definition time would be circular;
+        # the stats package only depends on repro.core.
+        from ..stats import StatsStore
+        self.stats = StatsStore()
 
     def register(self, table: Table, replace: bool = True) -> None:
         key = table.name.lower()
         if not replace and key in self._tables:
             raise AnalysisError(f"table {table.name!r} already exists")
         self._tables[key] = table
+        self.stats.invalidate(key)
 
     def create_table(self, name: str, schema: Schema,
                      rows: Iterable[tuple],
@@ -89,6 +97,17 @@ class Catalog:
 
     def drop(self, name: str) -> None:
         self._tables.pop(name.lower(), None)
+        self.stats.invalidate(name)
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    def statistics(self, name: str, refresh: bool = False):
+        """Statistics for table ``name``, collected lazily and cached.
+
+        The cache is invalidated on :meth:`register`/:meth:`drop` and
+        when the table's row list visibly changes (different object or
+        length); pass ``refresh=True`` to force re-collection.
+        Returns a :class:`~repro.stats.statistics.TableStats`.
+        """
+        return self.stats.get(self.lookup(name), refresh=refresh)

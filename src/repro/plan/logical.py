@@ -611,6 +611,25 @@ class SkylineOperator(UnaryNode):
         return f"Skyline({prefix}{dims})"
 
 
+class AnalyzeTable(LeafNode):
+    """``ANALYZE TABLE name [COMPUTE STATISTICS]`` -- a command node.
+
+    Executed directly by the session (it never reaches the physical
+    planner): statistics for the named table are (re)collected into the
+    catalog's stats store and returned as a per-column summary relation.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return []
+
+    def node_description(self) -> str:
+        return f"AnalyzeTable({self.name})"
+
+
 def find_skyline_operators(plan: LogicalPlan) -> list[SkylineOperator]:
     """All skyline operators in a plan (helper for tests and tooling)."""
     return [node for node in plan.iter_tree()

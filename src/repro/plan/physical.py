@@ -20,7 +20,8 @@ from typing import Any, Callable, Sequence
 
 from ..core.algorithms import (global_flagged_task, local_bnl_incomplete_task,
                                local_bnl_task, local_sfs_task)
-from ..core.dominance import BoundDimension, null_bitmap
+from ..core.dominance import BoundDimension, DimensionKind, null_bitmap
+from ..core.partitioning import partition_rows
 from ..engine import expressions as E
 from ..engine.backends import StageTask
 from ..engine.cluster import ExecutionContext
@@ -691,6 +692,62 @@ def _local_skyline_tasks(ctx: ExecutionContext,
                                  check_deadline=ctx.check_deadline),
             func=func, args=args))
     return tasks
+
+
+class SkylineRepartitionExec(PhysicalPlan):
+    """Redistribute rows under a chosen partitioning scheme.
+
+    Placed below the local skyline stage when the planner (adaptive or
+    session-forced) overrides the paper's keep-Spark's-partitioning
+    default: ``random`` round-robin, ``grid`` (equi-width cells over the
+    oriented dimensions, dominated cells pruned before any per-tuple
+    work), or ``angle`` (angular slices, balancing local skylines on
+    anti-correlated data).  Grid and angle need comparable values, so
+    rows with nulls in a value dimension fall back to random.
+    """
+
+    def __init__(self, items: Sequence[E.SkylineDimension], scheme: str,
+                 num_partitions: int, child: PhysicalPlan,
+                 cells_per_dimension: int | None = None) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.items = list(items)
+        self.scheme = scheme
+        self.num_partitions = max(1, num_partitions)
+        self.cells_per_dimension = cells_per_dimension
+        self.dims = _bind_dimensions(items, child.output)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def execute(self, ctx: ExecutionContext) -> RDD:
+        child_rdd = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        rows = child_rdd.collect()
+        ctx.record_shuffle(stage, len(rows))
+        dims = self.dims
+        value_dims = [d for d in dims
+                      if d.kind is not DimensionKind.DIFF]
+        scheme = self.scheme
+        if scheme in ("grid", "angle") and any(
+                row[d.index] is None for row in rows
+                for d in value_dims):
+            scheme = "random"
+
+        def task(scheme=scheme):
+            return partition_rows(
+                rows, dims, scheme, self.num_partitions,
+                prune_cells=scheme == "grid",
+                cells_per_dimension=self.cells_per_dimension)
+
+        partitions = ctx.run_task(stage, 0, task, len(rows),
+                                  parallelizable=False)
+        return RDD(partitions if partitions else [[]])
+
+    def node_description(self) -> str:
+        return (f"SkylineRepartition({self.scheme}, "
+                f"{self.num_partitions} partitions)")
 
 
 class SkylineLocalExec(PhysicalPlan):

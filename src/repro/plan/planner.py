@@ -32,18 +32,51 @@ SKYLINE_STRATEGIES = (
     "distributed-incomplete",
     "sfs",
     "cost-based",
+    "adaptive",
 )
+
+#: Valid values of the ``skyline.partitioning`` session option;
+#: ``keep`` preserves the child's partitioning (the paper's default).
+PARTITIONING_SCHEMES = ("keep", "random", "grid", "angle")
+
+#: Strategies whose local stage accepts a partitioning override.
+_PARTITIONABLE = ("distributed-complete", "sfs")
 
 
 class Planner:
-    """Lowers logical plans to physical plans."""
+    """Lowers logical plans to physical plans.
 
-    def __init__(self, skyline_strategy: str = "auto") -> None:
+    ``catalog``/``num_executors``/``max_workers`` feed the cost model
+    used by the ``cost-based`` and ``adaptive`` strategies;
+    ``partitioning``/``num_partitions`` force a local-stage partitioning
+    scheme for any distributed strategy (the benchmark harness uses this
+    to evaluate fixed algorithm x partitioning combinations).  Every
+    skyline operator planned leaves a
+    :class:`~repro.plan.cost.PlanDecision` in :attr:`decisions`, which
+    ``EXPLAIN`` renders.
+    """
+
+    def __init__(self, skyline_strategy: str = "auto", *,
+                 catalog=None, num_executors: int = 2,
+                 max_workers: int | None = None,
+                 partitioning: str = "keep",
+                 num_partitions: int | None = None) -> None:
         if skyline_strategy not in SKYLINE_STRATEGIES:
             raise PlanningError(
                 f"unknown skyline strategy {skyline_strategy!r}; expected "
                 f"one of {SKYLINE_STRATEGIES}")
+        if partitioning not in PARTITIONING_SCHEMES:
+            raise PlanningError(
+                f"unknown partitioning scheme {partitioning!r}; expected "
+                f"one of {PARTITIONING_SCHEMES}")
         self.skyline_strategy = skyline_strategy
+        self.catalog = catalog
+        self.num_executors = num_executors
+        self.max_workers = max_workers
+        self.partitioning = partitioning
+        self.num_partitions = num_partitions
+        #: One entry per planned skyline operator, in plan order.
+        self.decisions: list = []
 
     # -- entry point ------------------------------------------------------
 
@@ -141,19 +174,49 @@ class Planner:
     # -- skyline (Listing 8) -------------------------------------------------------
 
     def _plan_skyline(self, node: L.SkylineOperator) -> P.PhysicalPlan:
+        from .cost import CostModel, applied_decision
+
         child = self.plan(node.child)
         items = node.skyline_items
         strategy = self.skyline_strategy
-        if strategy == "cost-based":
-            # Section 7's lightweight cost-based selection.
-            from .cost import choose_strategy
-            strategy = choose_strategy(node).strategy
-        if strategy == "auto":
-            # Listing 8: COMPLETE keyword or non-nullable dimensions allow
-            # the (faster) complete algorithm.
+        partitioning = self.partitioning
+        num_partitions = self.num_partitions
+        grid_cells: int | None = None
+
+        decision = None
+        if strategy in ("cost-based", "adaptive"):
+            # Section 7's lightweight cost-based selection, fed by the
+            # statistics subsystem.
+            model = CostModel(self.catalog, self.num_executors,
+                              self.max_workers)
+            decision = model.decide(node)
+            strategy = decision.algorithm
+            if self.skyline_strategy == "adaptive" and \
+                    partitioning == "keep":
+                # Adaptive also chooses the partitioning, unless the
+                # session forces a scheme explicitly.
+                partitioning = decision.partitioning
+                num_partitions = decision.num_partitions
+                grid_cells = decision.grid_cells_per_dim
+        elif strategy == "auto":
+            # Listing 8: COMPLETE keyword or non-nullable dimensions
+            # allow the (faster) complete algorithm.
             use_complete = node.complete or not node.dimensions_nullable
             strategy = "distributed-complete" if use_complete \
                 else "distributed-incomplete"
+
+        # What actually runs: a repartition is only inserted for the
+        # strategies with a partitionable local stage.
+        applies = partitioning != "keep" and strategy in _PARTITIONABLE
+        applied_count = (num_partitions or self.num_executors) \
+            if applies else None
+        self.decisions.append(applied_decision(
+            decision, strategy, partitioning if applies else "keep",
+            applied_count, auto=self.skyline_strategy == "auto"))
+        if applies:
+            child = P.SkylineRepartitionExec(
+                items, partitioning, applied_count, child,
+                cells_per_dimension=grid_cells)
         if strategy == "distributed-complete":
             local = P.SkylineLocalExec(items, node.distinct, child)
             return P.SkylineGlobalCompleteExec(items, node.distinct, local)

@@ -1,0 +1,70 @@
+"""Lazy, invalidating statistics cache.
+
+The catalog owns one :class:`StatsStore`.  Statistics are collected on
+first use (the planner asking, or ``ANALYZE TABLE``), cached by table
+name, and invalidated when the table is re-registered, dropped, or its
+row list visibly changes (a different list object, or a different
+length -- in-place same-length overwrites are not detected; run
+``ANALYZE TABLE`` or :meth:`SkylineSession.stats_refresh` after such
+writes).
+"""
+
+from __future__ import annotations
+
+from .statistics import TableStats, collect_table_stats
+
+
+def table_fingerprint(table) -> tuple:
+    """Identity of a table's current data snapshot.
+
+    ``table`` is any object with ``name`` and ``rows`` attributes (the
+    catalog's :class:`~repro.engine.catalog.Table`).
+    """
+    return (id(table.rows), len(table.rows))
+
+
+def stats_for_table(table) -> TableStats:
+    """Collect statistics straight off a catalog table (uncached)."""
+    return collect_table_stats(
+        table.name, [f.name for f in table.schema], table.rows,
+        fingerprint=table_fingerprint(table))
+
+
+class StatsStore:
+    """Per-catalog cache of :class:`TableStats`, keyed by table name.
+
+    >>> class FakeField:
+    ...     def __init__(self, name): self.name = name
+    >>> class FakeTable:
+    ...     name = "t"
+    ...     schema = [FakeField("a")]
+    ...     rows = [(1,), (2,)]
+    >>> store = StatsStore()
+    >>> store.get(FakeTable()).num_rows
+    2
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, TableStats] = {}
+
+    def get(self, table, refresh: bool = False) -> TableStats:
+        """Statistics for ``table``, collecting on miss or staleness."""
+        key = table.name.lower()
+        cached = self._stats.get(key)
+        if (not refresh and cached is not None
+                and cached.fingerprint == table_fingerprint(table)):
+            return cached
+        stats = stats_for_table(table)
+        self._stats[key] = stats
+        return stats
+
+    def peek(self, name: str) -> TableStats | None:
+        """The cached entry, if any -- never triggers collection."""
+        return self._stats.get(name.lower())
+
+    def invalidate(self, name: str | None = None) -> None:
+        """Drop the cached stats of ``name`` (or of every table)."""
+        if name is None:
+            self._stats.clear()
+        else:
+            self._stats.pop(name.lower(), None)

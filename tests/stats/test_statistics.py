@@ -1,0 +1,213 @@
+"""Statistics subsystem: histograms, column stats, cache invalidation."""
+
+import pytest
+
+from repro import SkylineSession
+from repro.core import make_dimensions
+from repro.datasets import anticorrelated_rows, correlated_rows
+from repro.engine.types import DOUBLE, INTEGER, STRING
+from repro.stats import (Histogram, StatsStore, collect_table_stats,
+                         stats_for_table)
+
+
+class TestHistogram:
+    def test_counts_and_bounds(self):
+        h = Histogram.from_values([0.0, 1.0, 2.0, 3.0], num_buckets=2)
+        assert (h.low, h.high) == (0.0, 3.0)
+        assert h.counts == (2, 2)
+        assert h.total == 4
+
+    def test_empty_input_gives_none(self):
+        assert Histogram.from_values([], num_buckets=4) is None
+
+    def test_constant_column_collapses_to_one_bucket(self):
+        h = Histogram.from_values([5.0] * 10, num_buckets=8)
+        assert h.counts == (10,)
+        assert h.selectivity_below(5.0) == 1.0
+        assert h.selectivity_below(4.9) == 0.0
+
+    def test_selectivity_below(self):
+        h = Histogram.from_values([float(i) for i in range(100)],
+                                  num_buckets=10)
+        assert h.selectivity_below(-1.0) == 0.0
+        assert h.selectivity_below(1000.0) == 1.0
+        # Roughly half the values are below the midpoint.
+        assert h.selectivity_below(49.5) == pytest.approx(0.5, abs=0.05)
+        assert h.selectivity_above(49.5) == pytest.approx(0.5, abs=0.05)
+
+    def test_inclusive_boundaries_never_estimate_zero(self):
+        # Regression: 'c >= 5.0' on a constant column (or '>= max',
+        # '<= min' generally) must not collapse to selectivity 0.0 --
+        # the boundary-valued rows always qualify.
+        constant = Histogram.from_values([5.0] * 10, num_buckets=8)
+        assert constant.selectivity_above(5.0) == 1.0
+        assert constant.selectivity_above(5.1) == 0.0
+        h = Histogram.from_values([float(i) for i in range(100)],
+                                  num_buckets=10)
+        assert h.selectivity_above(h.high) > 0.0
+        assert h.selectivity_below(h.low) > 0.0
+        assert h.selectivity_above(h.high + 1) == 0.0
+
+    def test_non_empty_buckets_measures_spread(self):
+        spread = Histogram.from_values([float(i) for i in range(16)],
+                                       num_buckets=16)
+        clumped = Histogram.from_values([0.0] * 15 + [100.0],
+                                        num_buckets=16)
+        assert spread.non_empty_buckets == 16
+        assert clumped.non_empty_buckets == 2
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values([1.0], num_buckets=0)
+
+    def test_non_finite_values_are_excluded(self):
+        # Regression: NaN used to poison the bucket bounds and raise.
+        h = Histogram.from_values(
+            [1.0, float("nan"), 2.0, float("inf")], num_buckets=2)
+        assert h.total == 2
+        assert (h.low, h.high) == (1.0, 2.0)
+        assert Histogram.from_values([float("nan")]) is None
+
+    def test_nan_column_stats_collect_without_error(self):
+        stats = collect_table_stats(
+            "t", ["a"], [(1.0,), (float("nan"),), (2.0,)])
+        assert stats.column("a").histogram.total == 2
+
+
+class TestCollectTableStats:
+    def test_column_stats(self):
+        stats = collect_table_stats(
+            "t", ["a", "b", "s"],
+            [(1, None, "x"), (2, 5.0, "y"), (3, 7.0, "x")])
+        a = stats.column("a")
+        assert (a.min_value, a.max_value) == (1, 3)
+        assert a.num_nulls == 0 and a.num_distinct == 3
+        b = stats.column("b")
+        assert b.num_nulls == 1
+        assert b.null_fraction == pytest.approx(1 / 3)
+        s = stats.column("s")
+        assert s.histogram is None  # non-numeric
+        assert s.num_distinct == 2
+
+    def test_lookup_is_case_insensitive(self):
+        stats = collect_table_stats("t", ["Price"], [(1.0,), (2.0,)])
+        assert stats.column("price") is not None
+        assert stats.column("PRICE").max_value == 2.0
+
+    def test_sample_is_bounded_and_deterministic(self):
+        rows = [(float(i),) for i in range(10_000)]
+        one = collect_table_stats("t", ["a"], rows, sample_rows=64)
+        two = collect_table_stats("t", ["a"], rows, sample_rows=64)
+        assert len(one.sample) == 64
+        assert one.sample == two.sample
+
+    def test_skyline_density_orders_distributions(self):
+        dims = make_dimensions([(0, "min"), (1, "min"), (2, "min")])
+        sparse = collect_table_stats(
+            "c", ["a", "b", "c"], correlated_rows(2000, 3, spread=0.05))
+        dense = collect_table_stats(
+            "a", ["a", "b", "c"],
+            anticorrelated_rows(2000, 3, spread=0.02))
+        assert sparse.skyline_density(dims) < dense.skyline_density(dims)
+        assert dense.skyline_density(dims) > 0.25
+
+    def test_skyline_density_skips_null_rows(self):
+        dims = make_dimensions([(0, "min"), (1, "min")])
+        rows = [(None, 1.0)] * 50 + [(float(i), float(i))
+                                     for i in range(50)]
+        stats = collect_table_stats("t", ["a", "b"], rows)
+        # Only the 50 complete rows are usable; they form a chain, so
+        # the sample skyline is a single tuple.
+        assert stats.skyline_density(dims) == pytest.approx(1 / 50)
+
+    def test_skyline_density_none_when_sample_too_small(self):
+        dims = make_dimensions([(0, "min")])
+        stats = collect_table_stats("t", ["a"], [(1.0,), (2.0,)])
+        assert stats.skyline_density(dims) is None
+
+
+class TestStatsStoreInvalidation:
+    def _session(self):
+        session = SkylineSession()
+        session.create_table(
+            "t", [("a", INTEGER, False)], [(1,), (2,), (3,)])
+        return session
+
+    def test_stats_are_cached(self):
+        session = self._session()
+        first = session.catalog.statistics("t")
+        assert session.catalog.statistics("t") is first
+
+    def test_reregistering_invalidates(self):
+        session = self._session()
+        stale = session.catalog.statistics("t")
+        session.create_table("t", [("a", INTEGER, False)], [(9,)])
+        fresh = session.catalog.statistics("t")
+        assert fresh is not stale
+        assert fresh.num_rows == 1
+
+    def test_row_append_detected_by_fingerprint(self):
+        session = self._session()
+        stale = session.catalog.statistics("t")
+        session.catalog.lookup("t").rows.append((4,))
+        fresh = session.catalog.statistics("t")
+        assert fresh is not stale
+        assert fresh.num_rows == 4
+
+    def test_drop_clears_cache_entry(self):
+        session = self._session()
+        session.catalog.statistics("t")
+        session.catalog.drop("t")
+        assert session.catalog.stats.peek("t") is None
+
+    def test_refresh_forces_recollection(self):
+        session = self._session()
+        stale = session.catalog.statistics("t")
+        assert session.catalog.statistics("t", refresh=True) is not stale
+
+    def test_store_get_via_table_object(self):
+        session = self._session()
+        store = StatsStore()
+        table = session.catalog.lookup("t")
+        assert store.get(table) is store.get(table)
+        assert store.get(table).fingerprint == \
+            stats_for_table(table).fingerprint
+
+
+class TestSessionStatsApi:
+    def test_table_stats_and_refresh(self):
+        session = SkylineSession()
+        session.create_table(
+            "t", [("a", DOUBLE, True)], [(1.0,), (None,), (3.0,)])
+        stats = session.table_stats("t")
+        assert stats.column("a").num_nulls == 1
+        refreshed = session.stats_refresh()
+        assert set(refreshed) == {"t"}
+        assert refreshed["t"] is not stats
+
+    def test_analyze_table_sql(self):
+        session = SkylineSession()
+        session.create_table(
+            "items", [("name", STRING, False), ("price", DOUBLE, True)],
+            [("a", 1.0), ("b", None), ("c", 3.0)])
+        rows = session.sql(
+            "ANALYZE TABLE items COMPUTE STATISTICS").to_tuples()
+        by_column = {row[1]: row for row in rows}
+        assert set(by_column) == {"name", "price"}
+        # (table, column, rows, nulls, null_fraction, min, max, ...)
+        assert by_column["price"][2] == 3
+        assert by_column["price"][3] == 1
+        assert by_column["price"][5] == "1.0"
+        # The command seeds the cache.
+        assert session.catalog.stats.peek("items") is not None
+
+    def test_analyze_table_without_compute_suffix(self):
+        session = SkylineSession()
+        session.create_table("t", [("a", INTEGER, False)], [(1,)])
+        assert session.sql("ANALYZE TABLE t").count() == 1
+
+    def test_analyze_unknown_table_fails(self):
+        from repro import AnalysisError
+        session = SkylineSession()
+        with pytest.raises(AnalysisError):
+            session.sql("ANALYZE TABLE nope").collect()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Markdown link checker (offline, stdlib-only).
+
+Usage: ``python tools/check_links.py README.md docs [more paths...]``
+
+Checks every ``[text](target)`` link in the given markdown files (or
+all ``*.md`` under given directories):
+
+* relative file targets must exist on disk (``path#anchor`` also
+  verifies the anchor against the target file's headings);
+* bare ``#anchor`` targets must match a heading of the same file;
+* ``http(s)://`` targets are skipped (no network in CI), as are
+  GitHub-relative targets escaping the repository (``../../actions/...``
+  badge links).
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style slug of a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_in(path: pathlib.Path) -> set[str]:
+    return {anchor_of(h) for h in HEADING.findall(
+        path.read_text(encoding="utf-8"))}
+
+
+def check_file(path: pathlib.Path, repo_root: pathlib.Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("../"):
+            # GitHub-relative (e.g. CI badge) -- escapes the checkout.
+            continue
+        base, _, anchor = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            try:
+                resolved.relative_to(repo_root)
+            except ValueError:
+                continue  # outside the repository: not checkable
+            if not resolved.exists():
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+            if anchor and resolved.suffix == ".md" and \
+                    anchor_of(anchor) not in anchors_in(resolved):
+                errors.append(f"{path}: missing anchor -> {target}")
+        elif anchor:
+            if anchor_of(anchor) not in anchors_in(path):
+                errors.append(f"{path}: missing anchor -> #{anchor}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    repo_root = pathlib.Path.cwd().resolve()
+    files: list[pathlib.Path] = []
+    for arg in argv:
+        path = pathlib.Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, repo_root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
