@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
+from ..core.vectorized import numpy_available
 from ..engine import expressions as E
 from ..engine.backends import (Backend, BackendSpec, default_num_workers)
 from ..engine.catalog import Catalog, ForeignKey, Table
@@ -25,6 +26,26 @@ from ..plan.physical import physical_tree_string
 from ..plan.planner import (PARTITIONING_SCHEMES, SKYLINE_STRATEGIES,
                             Planner)
 from ..sql.parser import parse_query
+
+
+def _validate_vectorized(vectorized: "bool | str") -> None:
+    """Reject invalid ``vectorized`` flags (shared by the session
+    constructor and :meth:`SkylineSession.with_vectorized`).
+
+    Identity checks on purpose: ``1 == True`` would let the ints 1/0
+    slip past a membership test and then miss the ``is True`` NumPy
+    check below, silently requiring nothing.
+    """
+    if not (vectorized is True or vectorized is False
+            or vectorized == "auto"):
+        raise ValueError(
+            f"vectorized must be True, False or 'auto', "
+            f"got {vectorized!r}")
+    if vectorized is True and not numpy_available():
+        raise ValueError(
+            "vectorized=True requires NumPy (install the "
+            "'repro-skyline[numpy]' extra); use vectorized='auto' "
+            "to fall back to the pure-Python kernels")
 
 
 @dataclass
@@ -105,6 +126,16 @@ class SkylineSession:
         ``num_executors``, which drives the *simulated* cluster model.
     num_workers:
         Pool size for the thread/process backends (default: CPU count).
+    vectorized:
+        Kernel selection for the skyline operators: ``"auto"`` (the
+        default) runs the columnar NumPy kernels
+        (:mod:`repro.core.vectorized`) when NumPy is importable and the
+        pure-Python reference kernels otherwise; ``True`` requires
+        NumPy (raises otherwise); ``False`` forces the scalar kernels.
+        Results are identical either way -- per-partition data that
+        cannot be columnized (non-numeric dimensions, integers beyond
+        the float64-exact range) falls back to the scalar kernels
+        transparently.
     """
 
     def __init__(self, num_executors: int = 2,
@@ -115,7 +146,8 @@ class SkylineSession:
                  num_workers: int | None = None,
                  adaptive: bool = False,
                  skyline_partitioning: str = "keep",
-                 skyline_partitions: int | None = None) -> None:
+                 skyline_partitions: int | None = None,
+                 vectorized: "bool | str" = "auto") -> None:
         if adaptive:
             if skyline_algorithm not in ("auto", "adaptive"):
                 raise ValueError(
@@ -130,8 +162,10 @@ class SkylineSession:
             raise ValueError(
                 f"unknown skyline_partitioning {skyline_partitioning!r}; "
                 f"expected one of {PARTITIONING_SCHEMES}")
+        _validate_vectorized(vectorized)
         base = cluster_config or ClusterConfig()
         self.cluster_config = replace(base, num_executors=num_executors)
+        self.vectorized = vectorized
         self.skyline_algorithm = skyline_algorithm
         self.skyline_partitioning = skyline_partitioning
         self.skyline_partitions = skyline_partitions
@@ -146,6 +180,19 @@ class SkylineSession:
     def adaptive(self) -> bool:
         """True when the statistics-driven adaptive planner is active."""
         return self.skyline_algorithm == "adaptive"
+
+    @property
+    def vectorized_enabled(self) -> bool:
+        """True when skyline queries run the columnar NumPy kernels.
+
+        >>> from repro import SkylineSession
+        >>> session = SkylineSession(vectorized=False)
+        >>> session.vectorized_enabled
+        False
+        """
+        if self.vectorized == "auto":
+            return numpy_available()
+        return bool(self.vectorized)
 
     # -- configuration ------------------------------------------------------
 
@@ -176,7 +223,8 @@ class SkylineSession:
             enable_skyline_optimizations=self.enable_skyline_optimizations,
             cluster_config=self.cluster_config,
             skyline_partitioning=self.skyline_partitioning,
-            skyline_partitions=self.skyline_partitions)
+            skyline_partitions=self.skyline_partitions,
+            vectorized=self.vectorized)
         clone.catalog = self.catalog
         clone._time_budget_s = self._time_budget_s
         clone._backend_spec = self._backend_spec
@@ -195,6 +243,14 @@ class SkylineSession:
         if algorithm not in SKYLINE_STRATEGIES:
             raise ValueError(f"unknown skyline_algorithm {algorithm!r}")
         clone.skyline_algorithm = algorithm
+        return clone
+
+    def with_vectorized(self, vectorized: "bool | str") -> "SkylineSession":
+        """A session sharing this catalog but with a different kernel
+        selection (``True`` / ``False`` / ``"auto"``)."""
+        _validate_vectorized(vectorized)
+        clone = self.with_executors(self.cluster_config.num_executors)
+        clone.vectorized = vectorized
         return clone
 
     def with_skyline_partitioning(self, scheme: str,
@@ -337,7 +393,8 @@ class SkylineSession:
             num_executors=self.cluster_config.num_executors,
             max_workers=max_workers,
             partitioning=self.skyline_partitioning,
-            num_partitions=self.skyline_partitions)
+            num_partitions=self.skyline_partitions,
+            vectorized=self.vectorized_enabled)
 
     _ANALYZE_SCHEMA = Schema([
         Field("table_name", STRING, False),

@@ -160,6 +160,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="run the mixed workload under the adaptive "
                              "planner and every fixed algorithm x "
                              "partitioning combination")
+    parser.add_argument("--vectorized", action="store_true",
+                        help="measure the columnar NumPy kernels against "
+                             "the scalar reference kernels (local phase "
+                             "and full queries) and emit "
+                             "BENCH_vectorized.json")
+    parser.add_argument("--min-vec-speedup", type=float, default=None,
+                        help="fail unless the best local-phase vectorized "
+                             "speedup reaches this factor")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="size multiplier for the adaptive mix")
     parser.add_argument("--rows", type=int, default=None,
@@ -172,9 +180,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="fail unless the measured speedup reaches "
                              "this factor (use on multi-core CI runners)")
     args = parser.parse_args(argv)
-    if not (args.smoke or args.speedup or args.adaptive):
-        parser.error("nothing to do: pass --smoke, --speedup and/or "
-                     "--adaptive")
+    if not (args.smoke or args.speedup or args.adaptive
+            or args.vectorized):
+        parser.error("nothing to do: pass --smoke, --speedup, "
+                     "--adaptive and/or --vectorized")
 
     status = 0
     if args.smoke:
@@ -210,4 +219,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"best fixed: {report['best_fixed']} "
               f"({report['fixed_totals'][report['best_fixed']]:.3f}s), "
               f"adaptive: {report['adaptive_total']:.3f}s")
+    if args.vectorized:
+        from .vectorized import (measure_vectorized_speedup,
+                                 render_vectorized_report)
+        report = measure_vectorized_speedup(num_rows=args.rows or 40_000)
+        with open("BENCH_vectorized.json", "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(render_vectorized_report(report))
+        if args.min_vec_speedup is not None and \
+                report["best_local_speedup"] < args.min_vec_speedup:
+            print(f"FAIL: best local-phase speedup below required "
+                  f"{args.min_vec_speedup:.2f}x", file=sys.stderr)
+            status = 1
     return status

@@ -22,6 +22,9 @@ from .partitioning import (angle_partitions, grid_partitions,
                            partition_rows, prune_dominated_cells,
                            random_partitions)
 from .sfs import monotone_score, sfs_skyline
+from .vectorized import (columnize, numpy_available, select_kernels,
+                         vec_bnl_skyline, vec_flagged_global_skyline,
+                         vec_sfs_skyline)
 
 __all__ = [
     "Algorithm",
@@ -35,6 +38,7 @@ __all__ = [
     "random_partitions",
     "bnl_skyline",
     "bnl_skyline_incremental",
+    "columnize",
     "compare",
     "distributed_complete",
     "distributed_incomplete",
@@ -49,9 +53,14 @@ __all__ = [
     "monotone_score",
     "non_distributed_complete",
     "null_bitmap",
+    "numpy_available",
     "partition_by_null_bitmap",
     "reference",
+    "select_kernels",
     "sfs_complete",
     "sfs_skyline",
     "skyline",
+    "vec_bnl_skyline",
+    "vec_flagged_global_skyline",
+    "vec_sfs_skyline",
 ]

@@ -18,6 +18,24 @@ Two semantics are provided:
   transitive and may contain cycles, which is why the global skyline of
   incomplete data needs the flag-based all-pairs algorithm
   (:mod:`repro.core.incomplete`).
+
+**NaN and infinities (pinned semantics).**  Float special values follow
+directly from the comparison-based definitions and are relied upon by
+the vectorized kernels (:mod:`repro.core.vectorized`), so they are
+contractual:
+
+* A ``NaN`` value in a MIN/MAX dimension compares false in *both*
+  directions, so that dimension neither blocks dominance nor counts as
+  strictly better -- a NaN dimension carries *no information*, much
+  like the null-restricted comparison skips a null dimension.  Unlike
+  ``NULL``, ``NaN`` in a DIFF dimension is never equal to anything
+  (``NaN != NaN``), so it blocks dominance there.
+* ``+inf``/``-inf`` order normally (``-inf`` is the best MIN value and
+  the worst MAX value).
+* SFS presorting is unsound when monotone scores degenerate to NaN;
+  :func:`repro.core.sfs.sfs_skyline` detects this and computes such
+  inputs with BNL, keeping all kernels in agreement (regression-tested
+  by ``tests/core/test_vectorized.py``).
 """
 
 from __future__ import annotations
@@ -96,6 +114,11 @@ def dominates(r: Sequence, s: Sequence,
     dimension by dimension in the given order, short-circuiting as soon as
     ``r`` is worse anywhere (the paper notes the dimension order can
     slightly influence dominance-check cost for exactly this reason).
+
+    Equivalently: ``r`` dominates ``s`` iff ``not (rv > sv)`` holds on
+    every MIN dimension (mirrored for MAX) and ``rv < sv`` on at least
+    one -- the formulation the vectorized kernels use, which pins the
+    NaN behaviour documented in the module docstring.
     """
     strictly_better = False
     for dim in dims:

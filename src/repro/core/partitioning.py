@@ -80,7 +80,8 @@ def grid_partitions(rows: Sequence[Sequence],
     return cells
 
 
-def prune_dominated_cells(cells: dict[tuple[int, ...], list[Sequence]]
+def prune_dominated_cells(cells: dict[tuple[int, ...], list[Sequence]],
+                          vectorized: bool | None = None
                           ) -> dict[tuple[int, ...], list[Sequence]]:
     """Drop grid cells dominated by another non-empty cell [41].
 
@@ -92,7 +93,18 @@ def prune_dominated_cells(cells: dict[tuple[int, ...], list[Sequence]]
     Only sound when the skyline has no DIFF dimensions: DIFF dominance
     additionally requires equal DIFF values, which cell coordinates do
     not capture (:func:`partition_rows` enforces this).
+
+    Larger grids dispatch to the NumPy implementation
+    (:func:`repro.core.vectorized.prune_dominated_cells_vec`), which
+    resolves all cells in one broadcast comparison; results are
+    identical.  ``vectorized=False`` forces the scalar loop (the
+    session's kernel pin applies to pruning too); ``None`` means
+    "NumPy when available".
     """
+    if len(cells) >= 32 and vectorized is not False:
+        from .vectorized import numpy_available, prune_dominated_cells_vec
+        if numpy_available():
+            return prune_dominated_cells_vec(cells)
     occupied = list(cells.keys())
     survivors: dict[tuple[int, ...], list[Sequence]] = {}
     for cell in occupied:
@@ -141,7 +153,8 @@ def partition_rows(rows: Sequence[Sequence],
                    dims: Sequence[BoundDimension],
                    scheme: str, num_partitions: int,
                    prune_cells: bool = False,
-                   cells_per_dimension: int | None = None
+                   cells_per_dimension: int | None = None,
+                   vectorized: bool | None = None
                    ) -> list[list[Sequence]]:
     """Uniform front door over the schemes.
 
@@ -149,7 +162,8 @@ def partition_rows(rows: Sequence[Sequence],
     partition count is rounded to a per-dimension cell count (or taken
     from ``cells_per_dimension`` when the caller sized the cells
     explicitly, e.g. from column histograms) and ``prune_cells``
-    enables cell-dominance pruning.
+    enables cell-dominance pruning (``vectorized`` passes through to
+    :func:`prune_dominated_cells`).
     """
     if scheme == "random":
         return random_partitions(rows, num_partitions)
@@ -165,6 +179,6 @@ def partition_rows(rows: Sequence[Sequence],
             # Pruning is unsound with DIFF dimensions: a cell may only
             # be deleted by tuples with *equal* DIFF values, which the
             # grid coordinates (value dimensions only) cannot see.
-            cells = prune_dominated_cells(cells)
+            cells = prune_dominated_cells(cells, vectorized=vectorized)
         return list(cells.values())
     raise ValueError(f"unknown partitioning scheme {scheme!r}")

@@ -14,8 +14,10 @@ every window insertion is final.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Sequence
 
+from .bnl import bnl_skyline
 from .dominance import (BoundDimension, DimensionKind, DominanceStats,
                         dominates, equal_on_dimensions)
 
@@ -46,11 +48,36 @@ def sfs_skyline(rows: Sequence[Sequence], dims: Sequence[BoundDimension],
     Only valid for complete data (no nulls in skyline dimensions) because
     both the scoring function and the one-directional window argument
     require total comparability.
+
+    Non-finite scores void the monotone property the one-directional
+    window relies on: NaN values (or ``+inf`` and ``-inf`` cancelling
+    inside the sum) make the sort order arbitrary, and an absorbing
+    ``±inf`` score ties a dominator with its victim, so a dominated
+    tuple can sort *before* the tuple that dominates it and wrongly
+    survive.  Such inputs are therefore computed with
+    :func:`~repro.core.bnl.bnl_skyline` instead, keeping SFS's results
+    identical to BNL's on every input (the pinned NaN/±inf semantics of
+    :mod:`repro.core.dominance`).
+
+    Finite scores are only *weakly* monotone under rounding (the exact
+    sums satisfy ``score(r) < score(s)`` whenever ``r`` dominates
+    ``s``, but float addition can collapse that to equality -- e.g. a
+    ``1e16`` dimension absorbs any sub-ulp difference elsewhere), so a
+    dominator can tie with, and stably sort after, its victim.  Window
+    insertions are therefore final only across *strictly increasing*
+    scores; within an equal-score run a newcomer additionally evicts
+    window rows it dominates.
     """
-    ordered = sorted(rows, key=lambda r: monotone_score(r, dims))
+    rows = list(rows)
+    scores = [monotone_score(row, dims) for row in rows]
+    if not all(math.isfinite(score) for score in scores):
+        return bnl_skyline(rows, dims, distinct=distinct, stats=stats,
+                           check_deadline=check_deadline)
+    ordered = sorted(zip(scores, rows), key=lambda pair: pair[0])
     window: list[Sequence] = []
+    window_scores: list[float] = []
     comparisons = 0
-    for i, t in enumerate(ordered):
+    for i, (score, t) in enumerate(ordered):
         if check_deadline is not None and i % 256 == 0:
             check_deadline()
         t_dominated = False
@@ -62,8 +89,25 @@ def sfs_skyline(rows: Sequence[Sequence], dims: Sequence[BoundDimension],
             if distinct and equal_on_dimensions(w, t, dims):
                 t_dominated = True
                 break
-        if not t_dominated:
-            window.append(t)
+        if t_dominated:
+            continue
+        if window_scores and window_scores[-1] == score:
+            # Equal-score suffix: rounding may have tied t with window
+            # rows it dominates -- the one case insertion-is-final
+            # fails.  Window scores are non-decreasing, so only the
+            # suffix needs checking.
+            keep = []
+            for ws, w in zip(window_scores, window):
+                if ws == score:
+                    comparisons += 1
+                    if dominates(t, w, dims):
+                        continue
+                keep.append((ws, w))
+            if len(keep) != len(window):
+                window_scores = [ws for ws, _ in keep]
+                window = [w for _, w in keep]
+        window.append(t)
+        window_scores.append(score)
     if stats is not None:
         stats.comparisons += comparisons
         stats.note_window(len(window))

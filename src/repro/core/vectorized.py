@@ -1,0 +1,689 @@
+"""Vectorized columnar skyline kernels (NumPy).
+
+The scalar kernels (:mod:`repro.core.bnl`, :mod:`repro.core.sfs`,
+:mod:`repro.core.incomplete`) compare one pair of tuples at a time in
+Python -- the hottest loop of the whole engine.  This module re-expresses
+the same algorithms over *columns*: a partition's skyline dimensions are
+converted once into a ``float64`` matrix (MAX dimensions negated so
+smaller is uniformly better, SQL nulls encoded as NaN plus an explicit
+null mask) and dominance is evaluated block-wise with NumPy broadcasting.
+
+Semantics are pinned to the scalar reference implementation:
+
+* ``r`` dominates ``s`` iff ``all(~(r > s))`` and ``any(r < s)`` over the
+  oriented value dimensions.  Written this way the kernels inherit the
+  scalar NaN/±inf behaviour for free: ``NaN > x`` and ``NaN < x`` are
+  both false, so a NaN dimension neither blocks dominance nor
+  contributes strictness -- exactly what
+  :func:`repro.core.dominance.dominates` does (see the "NaN and
+  infinities" note there).  ``±inf`` orders normally and vectorizes
+  fully.  Because NaN *data* additionally makes dominance
+  non-transitive (window results become order-dependent), the windowed
+  BNL/SFS kernels route NaN-containing partitions through the scalar
+  implementation so both stay bit-identical; the all-pairs flagged
+  kernel needs no transitivity and vectorizes NaN data directly.
+* SQL ``NULL`` maps to NaN in the matrix, which makes the *same* formula
+  implement the null-restricted comparison of
+  :func:`~repro.core.dominance.dominates_incomplete`: a dimension where
+  either side is null is skipped.  The separate null mask keeps
+  ``NULL`` distinguishable from genuine NaN data for DISTINCT equality
+  (``NULL = NULL`` holds there, ``NaN = NaN`` does not).
+* DIFF dimensions never vectorize as numbers; rows are grouped by their
+  DIFF values and the numeric kernel runs per group (dominance requires
+  equal DIFF values, so groups are independent).
+
+Every public kernel transparently **falls back to the scalar
+implementation** when NumPy is unavailable, when a dimension holds
+non-numeric values, or when integers exceed the exactly-representable
+``float64`` range (|v| > 2**53) -- the scalar kernels therefore remain
+the reference semantics, and the differential suite
+(``tests/integration/test_differential.py``) asserts agreement.
+
+Set ``REPRO_DISABLE_NUMPY=1`` to force the pure-Python fallbacks even
+with NumPy installed (used by CI to keep the fallback path honest).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .bnl import bnl_skyline
+from .dominance import (BoundDimension, DimensionKind, DominanceStats,
+                        dominates_incomplete)
+from .incomplete import flagged_global_skyline
+from .sfs import sfs_skyline
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    if os.environ.get("REPRO_DISABLE_NUMPY"):
+        np = None
+    else:
+        import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+#: True when the vectorized kernels can run at all.
+HAVE_NUMPY = np is not None
+
+#: Largest integer magnitude exactly representable as float64; larger
+#: ints could change comparison outcomes under conversion, so they
+#: force the scalar fallback.
+MAX_EXACT_INT = 2 ** 53
+
+#: Rows folded into the window per kernel step.  Empirically the sweet
+#: spot across the generator distributions: larger blocks amortize the
+#: NumPy call overhead but pay a quadratic intra-block pass that
+#: short-circuit-free vectorization cannot skip.
+BLOCK_ROWS = 256
+
+#: Window rows broadcast against one block at a time (bounds the
+#: temporary (chunk x block x dims) comparison arrays to a few MB).
+WINDOW_CHUNK = 2048
+
+def numpy_available() -> bool:
+    """True when the vectorized kernels are usable in this process."""
+    return HAVE_NUMPY
+
+
+# ---------------------------------------------------------------------------
+# Columnization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnBlock:
+    """A partition's skyline dimensions in columnar form.
+
+    ``values`` is ``(n, k)`` float64 over the MIN/MAX dimensions,
+    oriented so smaller is better and with nulls encoded as NaN;
+    ``null_mask`` marks the encoded nulls (NaN *data* stays unmasked);
+    ``diff_keys`` holds one tuple of raw DIFF-dimension values per row
+    (``None`` when the query has no DIFF dimensions).
+    """
+
+    values: "np.ndarray"
+    null_mask: "np.ndarray"
+    diff_keys: list[tuple] | None
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.values)
+
+    @property
+    def has_nan_data(self) -> bool:
+        """True when a MIN/MAX dimension holds genuine NaN *data*.
+
+        NaN makes dominance non-transitive (a NaN dimension carries no
+        information, like a null), so window-based kernels become
+        order-dependent -- the vectorized BNL/SFS paths defer to the
+        scalar kernels to stay bit-identical with their documented
+        window semantics.  The flag-based all-pairs kernel needs no
+        transitivity and keeps vectorizing such data.
+        """
+        return bool((np.isnan(self.values) & ~self.null_mask).any())
+
+    def diff_groups(self) -> list["np.ndarray"]:
+        """Row-index arrays, one per DIFF-value group (insertion order)."""
+        if self.diff_keys is None:
+            return [np.arange(self.num_rows)]
+        groups: dict[tuple, list[int]] = {}
+        for i, key in enumerate(self.diff_keys):
+            groups.setdefault(key, []).append(i)
+        return [np.asarray(idx) for idx in groups.values()]
+
+    def diff_keys_have_null(self) -> bool:
+        return self.diff_keys is not None and any(
+            v is None for key in self.diff_keys for v in key)
+
+    def diff_keys_have_nan(self) -> bool:
+        """Hash-based DIFF grouping cannot express ``NaN != NaN``."""
+        return self.diff_keys is not None and any(
+            isinstance(v, float) and v != v
+            for key in self.diff_keys for v in key)
+
+    def uniform_null_pattern(self) -> bool:
+        """True when every row is null in the same value dimensions."""
+        if not self.num_rows:
+            return True
+        return bool((self.null_mask == self.null_mask[0]).all())
+
+
+def columnize(rows: Sequence[Sequence],
+              dims: Sequence[BoundDimension]) -> ColumnBlock | None:
+    """Convert rows to a :class:`ColumnBlock`, or ``None`` when the data
+    cannot be vectorized faithfully (non-numeric values, ints beyond the
+    float64-exact range, or NumPy missing)."""
+    if np is None:
+        return None
+    rows = rows if isinstance(rows, list) else list(rows)
+    value_dims = [d for d in dims if d.kind is not DimensionKind.DIFF]
+    diff_dims = [d for d in dims if d.kind is DimensionKind.DIFF]
+    n = len(rows)
+    if n == 0:
+        return ColumnBlock(np.zeros((0, len(value_dims))),
+                           np.zeros((0, len(value_dims)), dtype=bool),
+                           [] if diff_dims else None)
+    columns = list(zip(*rows))
+    values = np.empty((n, len(value_dims)), dtype=np.float64)
+    null_mask = np.zeros((n, len(value_dims)), dtype=bool)
+    for j, dim in enumerate(value_dims):
+        column = columns[dim.index]
+        kinds = set(map(type, column))
+        has_null = type(None) in kinds
+        if not kinds <= {int, float, bool, type(None)}:
+            return None
+        if int in kinds and any(
+                type(v) is int and (v > MAX_EXACT_INT or
+                                    v < -MAX_EXACT_INT)
+                for v in column):
+            return None
+        if has_null:
+            null_mask[:, j] = [v is None for v in column]
+            values[:, j] = [np.nan if v is None else float(v)
+                            for v in column]
+        else:
+            values[:, j] = np.asarray(column, dtype=np.float64)
+        if dim.kind is DimensionKind.MAX:
+            values[:, j] = -values[:, j]
+    diff_keys = None
+    if diff_dims:
+        diff_keys = [tuple(row[d.index] for d in diff_dims)
+                     for row in rows]
+    return ColumnBlock(values, null_mask, diff_keys)
+
+
+# ---------------------------------------------------------------------------
+# Block dominance primitives
+# ---------------------------------------------------------------------------
+
+
+def _pairwise_dominated(by: "np.ndarray", cand: "np.ndarray"
+                        ) -> "np.ndarray":
+    """``(len(by), len(cand))`` mask: ``by[i]`` dominates ``cand[j]``.
+
+    Iterates over the (few) dimensions with 2-D comparisons instead of
+    one 3-D broadcast + axis reduction -- the reduction over a tiny
+    last axis is the slow path in NumPy.
+    """
+    k = by.shape[1]
+    shape = (len(by), len(cand))
+    worse = np.zeros(shape, dtype=bool)    # by worse anywhere
+    better = np.zeros(shape, dtype=bool)   # by strictly better anywhere
+    for j in range(k):
+        b = by[:, j][:, None]
+        c = cand[None, :, j]
+        worse |= b > c
+        better |= b < c
+    return ~worse & better
+
+
+def _dominated_by(cand: "np.ndarray", by: "np.ndarray",
+                  stats: DominanceStats | None = None) -> "np.ndarray":
+    """Mask over ``cand`` rows dominated by *some* row of ``by``.
+
+    Chunked over ``by`` so the broadcast temporaries stay bounded;
+    already-dominated candidates drop out of later chunks.
+    """
+    out = np.zeros(len(cand), dtype=bool)
+    if not len(cand) or not len(by):
+        return out
+    for start in range(0, len(by), WINDOW_CHUNK):
+        chunk = by[start:start + WINDOW_CHUNK]
+        alive = np.flatnonzero(~out)
+        if not len(alive):
+            break
+        dominated = _pairwise_dominated(chunk, cand[alive])
+        if stats is not None:
+            stats.comparisons += len(chunk) * len(alive)
+        out[alive] |= dominated.any(axis=0)
+    return out
+
+
+def _block_skyline_indices(values: "np.ndarray",
+                           stats: DominanceStats | None = None,
+                           check_deadline: Callable[[], None] | None = None
+                           ) -> "np.ndarray":
+    """Indices (ascending) of the skyline rows of ``values``.
+
+    Block-BNL: fold :data:`BLOCK_ROWS` rows at a time into a columnar
+    window -- dominated newcomers are dropped, newcomers that dominate
+    window rows evict them, survivors are appended.  Requires a
+    transitive dominance relation over the rows (guaranteed per
+    DIFF/null-bitmap group).
+    """
+    n = len(values)
+    window_vals = values[:0]
+    window_idx = np.zeros(0, dtype=np.intp)
+    peak = 0
+    for start in range(0, n, BLOCK_ROWS):
+        if check_deadline is not None:
+            check_deadline()
+        block = values[start:start + BLOCK_ROWS]
+        keep = ~_dominated_by(block, window_vals, stats)
+        survivors = block[keep]
+        if len(survivors) > 1:
+            # Intra-block pass: with rows in input order, any block row
+            # dominated only by other (even dominated) block rows is
+            # also dominated by a surviving one, by transitivity.
+            dom = _pairwise_dominated(survivors, survivors)
+            if stats is not None:
+                stats.comparisons += len(survivors) * (len(survivors) - 1)
+            inner_keep = ~dom.any(axis=0)
+            chosen = np.flatnonzero(keep)[inner_keep]
+        else:
+            chosen = np.flatnonzero(keep)
+        survivors = block[chosen]
+        if len(window_idx) and len(survivors):
+            evict = _dominated_by(window_vals, survivors, stats)
+            if evict.any():
+                window_vals = window_vals[~evict]
+                window_idx = window_idx[~evict]
+        if len(survivors):
+            window_vals = np.concatenate([window_vals, survivors])
+            window_idx = np.concatenate([window_idx, chosen + start])
+        peak = max(peak, len(window_idx))
+    if stats is not None:
+        stats.note_window(peak)
+    return np.sort(window_idx)
+
+
+def _flagged_indices(values: "np.ndarray",
+                     stats: DominanceStats | None = None,
+                     check_deadline: Callable[[], None] | None = None
+                     ) -> "np.ndarray":
+    """Indices surviving the flag-based all-pairs test (Section 5.7).
+
+    Unlike the window kernel, dominated rows are only *flagged* -- every
+    row keeps eliminating others until all pairs were examined, which is
+    what makes the result correct under cyclic (incomplete) dominance.
+    """
+    n = len(values)
+    dominated = np.zeros(n, dtype=bool)
+    for start in range(0, n, BLOCK_ROWS):
+        if check_deadline is not None:
+            check_deadline()
+        block = values[start:start + BLOCK_ROWS]
+        # Flag semantics require flagged rows to keep eliminating (the
+        # ``by`` side stays the full block) but never need them
+        # re-*tested* -- restrict the candidate side to unflagged rows.
+        alive = np.flatnonzero(~dominated)
+        if not len(alive):
+            break
+        dominated[alive] |= _dominated_by(values[alive], block, stats)
+    if stats is not None:
+        stats.note_window(n)
+    return np.flatnonzero(~dominated)
+
+
+# ---------------------------------------------------------------------------
+# DISTINCT handling
+# ---------------------------------------------------------------------------
+
+
+def _distinct_indices(indices: Sequence[int], rows: Sequence[Sequence],
+                      dims: Sequence[BoundDimension]) -> list[int]:
+    """First index per equal-skyline-dimension-values class.
+
+    Equality follows :func:`~repro.core.dominance.equal_on_dimensions`:
+    raw ``==`` per dimension, so ``NULL = NULL`` holds while NaN is
+    never equal to anything (including itself) -- NaN values get a
+    per-occurrence sentinel so hashing cannot merge them.
+    """
+    seen: set = set()
+    kept: list[int] = []
+    for i in indices:
+        row = rows[i]
+        key = tuple(
+            object() if isinstance(v, float) and v != v else v
+            for v in (row[d.index] for d in dims))
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(i)
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# The kernels
+# ---------------------------------------------------------------------------
+
+
+def vec_bnl_skyline(rows: Sequence[Sequence],
+                    dims: Sequence[BoundDimension],
+                    distinct: bool = False,
+                    stats: DominanceStats | None = None,
+                    check_deadline: Callable[[], None] | None = None
+                    ) -> list[Sequence]:
+    """Block-BNL skyline; multiset-identical to
+    :func:`~repro.core.bnl.bnl_skyline` on complete data.
+
+    Falls back to the scalar kernel when the data cannot be columnized.
+    ``stats.comparisons`` counts *evaluated* directed dominance tests --
+    vectorized blocks cannot short-circuit inside a pair, so the count
+    is comparable but not identical to the scalar kernel's.
+    """
+    rows = rows if isinstance(rows, list) else list(rows)
+    block = columnize(rows, dims)
+    if block is None or bool(block.null_mask.any()) or \
+            block.has_nan_data or block.diff_keys_have_nan():
+        # NaN data: dominance loses transitivity, so the window result
+        # is order-dependent -- defer to the scalar window semantics.
+        # Nulls: the complete-data scalar kernel raises TypeError on
+        # None comparisons; encoding them as NaN would silently switch
+        # to null-skipping semantics, so nulls defer too.
+        return bnl_skyline(rows, dims, distinct=distinct, stats=stats,
+                           check_deadline=check_deadline)
+    indices: list[int] = []
+    for group in block.diff_groups():
+        chosen = _block_skyline_indices(block.values[group], stats,
+                                        check_deadline)
+        indices.extend(group[chosen].tolist())
+    indices.sort()
+    if distinct:
+        indices = _distinct_indices(indices, rows, dims)
+    return [rows[i] for i in indices]
+
+
+def vec_bnl_skyline_incomplete(rows: Sequence[Sequence],
+                               dims: Sequence[BoundDimension],
+                               stats: DominanceStats | None = None,
+                               check_deadline: Callable[[], None] | None
+                               = None) -> list[Sequence]:
+    """Local skyline of one *null-bitmap partition* (Section 5.7).
+
+    Only valid -- like the window trick itself -- when every row is null
+    in the same skyline dimensions; heterogeneous inputs fall back to
+    the scalar windowed kernel, whose result then depends on window
+    dynamics exactly as the scalar library documents.
+    """
+    rows = rows if isinstance(rows, list) else list(rows)
+    block = columnize(rows, dims)
+    if block is None or not block.uniform_null_pattern() or \
+            block.has_nan_data or block.diff_keys_have_null() or \
+            block.diff_keys_have_nan():
+        # Null DIFF keys: the null-restricted comparison skips a null
+        # DIFF dimension (allowing cross-group dominance), which hash
+        # grouping cannot express -- defer to the scalar kernel.
+        return bnl_skyline(rows, dims, distinct=False, stats=stats,
+                           dominance=dominates_incomplete,
+                           check_deadline=check_deadline)
+    indices: list[int] = []
+    for group in block.diff_groups():
+        chosen = _block_skyline_indices(block.values[group], stats,
+                                        check_deadline)
+        indices.extend(group[chosen].tolist())
+    indices.sort()
+    return [rows[i] for i in indices]
+
+
+def _monotone_scores(values: "np.ndarray") -> "np.ndarray":
+    """Per-row monotone scores, summed strictly left to right.
+
+    Matches :func:`repro.core.sfs.monotone_score` bit for bit (the
+    columns are already oriented), so scalar and vectorized SFS sort --
+    and hence pick DISTINCT representatives -- identically.
+    """
+    if not values.shape[1]:
+        return np.zeros(len(values))
+    with np.errstate(invalid="ignore"):  # +inf + -inf -> NaN is expected
+        scores = values[:, 0].copy()
+        for j in range(1, values.shape[1]):
+            scores += values[:, j]
+    return scores
+
+
+def _evict_rounding_ties(kept: list[int], values: "np.ndarray",
+                         scores: "np.ndarray",
+                         stats: DominanceStats | None) -> list[int]:
+    """Drop survivors dominated by an equal-score survivor.
+
+    Exact monotone scores are strictly increasing under dominance, but
+    float rounding can *tie* a dominator with its victim; when such a
+    tie run straddles a chunk boundary the windowed scan misses the
+    pair.  Every false survivor provably has a surviving equal-score
+    dominator (true-skyline rows always survive the scan), so one
+    pairwise pass per equal-score run of survivors restores exactness.
+    ``kept`` is in score order, so runs are contiguous.
+    """
+    if len(kept) < 2:
+        return kept
+    kept_arr = np.asarray(kept)
+    kept_scores = scores[kept_arr]
+    if len(np.unique(kept_scores)) == len(kept_arr):
+        return kept
+    cleaned: list[int] = []
+    i = 0
+    while i < len(kept_arr):
+        j = i + 1
+        while j < len(kept_arr) and kept_scores[j] == kept_scores[i]:
+            j += 1
+        if j - i > 1:
+            run = kept_arr[i:j]
+            dominated = _dominated_by(values[run], values[run], stats)
+            cleaned.extend(run[~dominated].tolist())
+        else:
+            cleaned.append(int(kept_arr[i]))
+        i = j
+    return cleaned
+
+
+def vec_sfs_skyline(rows: Sequence[Sequence],
+                    dims: Sequence[BoundDimension],
+                    distinct: bool = False,
+                    stats: DominanceStats | None = None,
+                    check_deadline: Callable[[], None] | None = None
+                    ) -> list[Sequence]:
+    """Sort-Filter-Skyline over columns.
+
+    Rows are ordered by the monotone score (sum of oriented values) with
+    a stable sort, so DISTINCT keeps the same representative as the
+    scalar kernel.  NaN scores make presorting unsound (the monotone
+    property fails), so -- matching the scalar kernel's pinned
+    behaviour -- such inputs are computed with the BNL kernel instead.
+    """
+    rows = rows if isinstance(rows, list) else list(rows)
+    block = columnize(rows, dims)
+    if block is None or bool(block.null_mask.any()) or \
+            block.has_nan_data or block.diff_keys_have_nan():
+        # Scalar SFS detects the NaN scores and routes through scalar
+        # BNL -- the pinned behaviour both implementations share.  Null
+        # values defer like in :func:`vec_bnl_skyline`: the scalar
+        # complete-data kernel raises TypeError on them.
+        return sfs_skyline(rows, dims, distinct=distinct, stats=stats,
+                           check_deadline=check_deadline)
+    all_scores = _monotone_scores(block.values)
+    if not np.isfinite(all_scores).all():
+        # Pinned behaviour shared with the scalar kernel: *any*
+        # non-finite score (NaN, or absorbing ±inf tying a dominator
+        # with its victim) makes presorting unsound -- the whole input
+        # is computed with BNL, like scalar SFS routes it through
+        # scalar BNL (same rows, same input-order output).
+        return vec_bnl_skyline(rows, dims, distinct=distinct,
+                               stats=stats, check_deadline=check_deadline)
+    indices: list[int] = []
+    for group in block.diff_groups():
+        values = block.values[group]
+        order = np.argsort(all_scores[group], kind="stable")
+        ordered = values[order]
+        kept_local: list[int] = []
+        window = ordered[:0]
+        for start in range(0, len(ordered), BLOCK_ROWS):
+            if check_deadline is not None:
+                check_deadline()
+            chunk = ordered[start:start + BLOCK_ROWS]
+            keep = ~_dominated_by(chunk, window, stats)
+            if len(chunk) > 1:
+                dom = _pairwise_dominated(chunk, chunk)
+                if stats is not None:
+                    stats.comparisons += len(chunk) * (len(chunk) - 1)
+                keep &= ~dom.any(axis=0)
+            chosen = np.flatnonzero(keep)
+            window = np.concatenate([window, chunk[chosen]])
+            kept_local.extend((group[order[chosen + start]]).tolist())
+        if stats is not None:
+            stats.note_window(len(window))
+        kept_local = _evict_rounding_ties(kept_local, block.values,
+                                          all_scores, stats)
+        # kept_local is in score order -- the order DISTINCT dedup must
+        # see to pick the scalar kernel's representative.
+        if distinct:
+            kept_local = _distinct_indices(kept_local, rows, dims)
+        indices.extend(kept_local)
+    # DISTINCT dedup happened per DIFF group, which is exact: equal
+    # skyline-dimension values imply an equal DIFF key.  Scalar SFS
+    # emits the *global* score order (stable: ties in input order), so
+    # re-rank the per-group survivors the same way.
+    rank = np.empty(len(rows), dtype=np.intp)
+    rank[np.argsort(all_scores, kind="stable")] = np.arange(len(rows))
+    indices.sort(key=lambda i: rank[i])
+    return [rows[i] for i in indices]
+
+
+def vec_flagged_global_skyline(rows: Sequence[Sequence],
+                               dims: Sequence[BoundDimension],
+                               distinct: bool = False,
+                               stats: DominanceStats | None = None,
+                               check_deadline: Callable[[], None] | None
+                               = None) -> list[Sequence]:
+    """Flag-based all-pairs global skyline for incomplete data.
+
+    Correct under cyclic dominance: rows are flagged, never deleted
+    early.  Nulls in DIFF dimensions make the per-DIFF-group
+    decomposition unsound (a null DIFF value compares equal-restricted
+    against *every* group), so such inputs fall back to the scalar
+    kernel.
+    """
+    rows = rows if isinstance(rows, list) else list(rows)
+    block = columnize(rows, dims)
+    if block is None or block.diff_keys_have_null() or \
+            block.diff_keys_have_nan():
+        return flagged_global_skyline(rows, dims, distinct=distinct,
+                                      stats=stats,
+                                      check_deadline=check_deadline)
+    indices: list[int] = []
+    for group in block.diff_groups():
+        chosen = _flagged_indices(block.values[group], stats,
+                                  check_deadline)
+        indices.extend(group[chosen].tolist())
+    indices.sort()
+    if distinct:
+        indices = _distinct_indices(indices, rows, dims)
+    return [rows[i] for i in indices]
+
+
+# ---------------------------------------------------------------------------
+# Partition-task kernels (picklable, engine-facing)
+# ---------------------------------------------------------------------------
+#
+# Same contract as the scalar tasks in :mod:`repro.core.algorithms`:
+# top-level functions returning ``(rows, window_peak, comparisons)``,
+# shippable to process-pool workers.
+
+
+def vec_local_bnl_task(rows: Sequence[Sequence],
+                       dims: Sequence[BoundDimension],
+                       distinct: bool = False,
+                       check_deadline: Callable[[], None] | None = None
+                       ) -> tuple[list, int, int]:
+    """Vectorized BNL skyline of one partition (complete data)."""
+    stats = DominanceStats()
+    skyline_rows = vec_bnl_skyline(rows, dims, distinct=distinct,
+                                   stats=stats,
+                                   check_deadline=check_deadline)
+    return skyline_rows, stats.window_peak, stats.comparisons
+
+
+def vec_local_bnl_incomplete_task(rows: Sequence[Sequence],
+                                  dims: Sequence[BoundDimension],
+                                  check_deadline: Callable[[], None] | None
+                                  = None) -> tuple[list, int, int]:
+    """Vectorized BNL skyline of one null-bitmap partition."""
+    stats = DominanceStats()
+    skyline_rows = vec_bnl_skyline_incomplete(
+        rows, dims, stats=stats, check_deadline=check_deadline)
+    return skyline_rows, stats.window_peak, stats.comparisons
+
+
+def vec_local_sfs_task(rows: Sequence[Sequence],
+                       dims: Sequence[BoundDimension],
+                       distinct: bool = False,
+                       check_deadline: Callable[[], None] | None = None
+                       ) -> tuple[list, int, int]:
+    """Vectorized Sort-Filter-Skyline of one partition."""
+    stats = DominanceStats()
+    skyline_rows = vec_sfs_skyline(rows, dims, distinct=distinct,
+                                   stats=stats,
+                                   check_deadline=check_deadline)
+    return skyline_rows, stats.window_peak, stats.comparisons
+
+
+def vec_global_flagged_task(rows: Sequence[Sequence],
+                            dims: Sequence[BoundDimension],
+                            distinct: bool = False,
+                            check_deadline: Callable[[], None] | None = None
+                            ) -> tuple[list, int, int]:
+    """Vectorized flag-based all-pairs global skyline."""
+    stats = DominanceStats()
+    skyline_rows = vec_flagged_global_skyline(
+        rows, dims, distinct=distinct, stats=stats,
+        check_deadline=check_deadline)
+    return skyline_rows, stats.window_peak, stats.comparisons
+
+
+@dataclass(frozen=True)
+class KernelSet:
+    """The partition-task kernels one physical plan executes with."""
+
+    name: str
+    local_bnl: Callable
+    local_bnl_incomplete: Callable
+    local_sfs: Callable
+    global_flagged: Callable
+
+
+def select_kernels(vectorized: bool) -> KernelSet:
+    """The scalar or vectorized kernel set for the physical operators.
+
+    ``vectorized=True`` with NumPy missing silently selects the scalar
+    set -- session construction validates the flag, and per-partition
+    data that cannot columnize falls back inside the kernels anyway.
+    """
+    from .algorithms import (global_flagged_task,
+                             local_bnl_incomplete_task, local_bnl_task,
+                             local_sfs_task)
+
+    if vectorized and numpy_available():
+        return KernelSet("vectorized", vec_local_bnl_task,
+                         vec_local_bnl_incomplete_task,
+                         vec_local_sfs_task, vec_global_flagged_task)
+    return KernelSet("scalar", local_bnl_task, local_bnl_incomplete_task,
+                     local_sfs_task, global_flagged_task)
+
+
+# ---------------------------------------------------------------------------
+# Grid-cell dominance pruning
+# ---------------------------------------------------------------------------
+
+
+def prune_dominated_cells_vec(cells: dict[tuple, list]) -> dict[tuple, list]:
+    """Vectorized grid-cell dominance pruning.
+
+    Identical result to
+    :func:`repro.core.partitioning.prune_dominated_cells`: a cell dies
+    when another occupied cell is strictly smaller on *every* (oriented)
+    coordinate.  Cell coordinates are small ints, so one ``(m, m, k)``
+    comparison resolves all cells at once.
+    """
+    coordinates = list(cells.keys())
+    if np is None or len(coordinates) < 2 or \
+            len({len(c) for c in coordinates}) != 1 or \
+            not len(coordinates[0]):
+        # Degenerate grids: the scalar loop.
+        from .partitioning import prune_dominated_cells
+        return prune_dominated_cells(cells, vectorized=False)
+    grid = np.asarray(coordinates, dtype=np.int64)
+    strictly_less = (grid[:, None, :] < grid[None, :, :]).all(axis=2)
+    dominated = strictly_less.any(axis=0)
+    return {coord: cells[coord]
+            for coord, dead in zip(coordinates, dominated) if not dead}

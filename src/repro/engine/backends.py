@@ -54,6 +54,11 @@ class StageTask:
     process backends ship to worker processes.  Tasks providing only
     ``fn`` still run under every backend (the process backend executes
     them inline).
+
+    ``kernel`` labels which kernel family executes the task (``scalar``
+    or ``vectorized``); it is carried into the recorded
+    :class:`~repro.engine.cluster.TaskMetrics` so benchmarks and the
+    differential suite can verify which implementation actually ran.
     """
 
     partition: int
@@ -61,6 +66,7 @@ class StageTask:
     fn: Callable[[], Any] | None = None
     func: Callable[..., Any] | None = None
     args: tuple = ()
+    kernel: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.fn is None and self.func is None:

@@ -76,6 +76,8 @@ class TaskMetrics:
     #: Peak number of rows held simultaneously beyond the input
     #: (e.g. the BNL window).
     peak_held_rows: int = 0
+    #: Kernel family that executed the task (``scalar``/``vectorized``).
+    kernel: str = "scalar"
 
 
 @dataclass
@@ -202,7 +204,8 @@ class ExecutionContext:
             metrics.tasks.append(TaskMetrics(
                 stage=stage, partition=task.partition,
                 duration_s=outcome.duration_s, rows_in=task.rows_in,
-                rows_out=len(rows), peak_held_rows=peak_held))
+                rows_out=len(rows), peak_held_rows=peak_held,
+                kernel=task.kernel))
             results.append(rows)
         return results
 
@@ -225,12 +228,13 @@ class ExecutionContext:
         return replace(task, fn=wrapped)
 
     def run_task(self, stage: str, partition: int, fn, rows_in: int,
-                 parallelizable: bool = True):
+                 parallelizable: bool = True, kernel: str = "scalar"):
         """Run ``fn()`` as one task, measuring and recording it.
 
         ``fn`` returns either ``rows`` or ``(rows, peak_held_rows)``.
         """
-        task = StageTask(partition=partition, rows_in=rows_in, fn=fn)
+        task = StageTask(partition=partition, rows_in=rows_in, fn=fn,
+                         kernel=kernel)
         return self.run_stage(stage, [task], parallelizable)[0]
 
     def record_shuffle(self, stage: str, rows: int) -> None:
@@ -314,6 +318,7 @@ class ExecutionContext:
                     "rows_in": s.rows_in,
                     "rows_out": s.rows_out,
                     "shuffled_rows": s.shuffled_rows,
+                    "kernels": sorted({t.kernel for t in s.tasks}),
                 }
                 for s in self.stages
             ],

@@ -34,6 +34,12 @@ from . import logical as L
 SMALL_INPUT_ROWS = 512
 #: Skyline density beyond which SFS is preferred over BNL.
 DENSE_SKYLINE_FRACTION = 0.25
+#: The same crossover when the vectorized kernels run.  Block-BNL's
+#: per-comparison cost collapses under vectorization while SFS still
+#: pays a scalar-ish O(n log n) sort (argsort over Python-derived
+#: scores), so BNL stays competitive on considerably denser skylines
+#: before presorting wins.
+DENSE_SKYLINE_FRACTION_VECTORIZED = 0.5
 #: Rows an adaptive partition should aim to hold.
 TARGET_ROWS_PER_PARTITION = 1024
 #: Hard cap on adaptively chosen partition counts.
@@ -45,6 +51,11 @@ MAX_ADAPTIVE_PARTITIONS = 64
 #: saved by cell pruning is far smaller than the window size suggests,
 #: while the repartition pass costs a full non-parallelizable scan.
 REPARTITION_BREAK_EVEN_WINDOW = 512
+#: The same break-even under the vectorized kernels, whose block-wise
+#: window scans are an order of magnitude cheaper per row -- the
+#: repartition pass stays a full non-parallelizable scan, so it only
+#: pays off on far larger expected windows.
+REPARTITION_BREAK_EVEN_WINDOW_VECTORIZED = 8192
 #: Selectivity assumed for filter conjuncts the model cannot estimate.
 DEFAULT_SELECTIVITY = 1.0
 #: Row bound for profiling uncached leaves (LocalRelation): catalog
@@ -217,10 +228,19 @@ class CostModel:
     """
 
     def __init__(self, catalog=None, num_executors: int = 2,
-                 max_workers: int | None = None) -> None:
+                 max_workers: int | None = None,
+                 vectorized: bool = False) -> None:
         self.catalog = catalog
         self.num_executors = num_executors
         self.max_workers = max_workers
+        #: Vectorized kernels shift the BNL-vs-SFS crossover: block-BNL
+        #: absorbs dense windows far more cheaply than scalar BNL.
+        self.vectorized = vectorized
+        self.dense_fraction = DENSE_SKYLINE_FRACTION_VECTORIZED \
+            if vectorized else DENSE_SKYLINE_FRACTION
+        self.repartition_break_even = \
+            REPARTITION_BREAK_EVEN_WINDOW_VECTORIZED if vectorized \
+            else REPARTITION_BREAK_EVEN_WINDOW
 
     # -- statistics plumbing ----------------------------------------------
 
@@ -378,18 +398,26 @@ class CostModel:
         # under BNL; presorting (SFS) then wins.
         value_dims = [] if dims is None else \
             [d for d in dims if d.kind is not DimensionKind.DIFF]
-        if density is not None and density >= DENSE_SKYLINE_FRACTION \
+        if density is not None and density >= self.dense_fraction \
                 and len(value_dims) >= 2:
             algorithm = "sfs"
+            kernels = " (vectorized-kernel crossover)" \
+                if self.vectorized else ""
             algorithm_reason = (f"dense skyline (sampled density "
                                 f"{density:.2f} >= "
-                                f"{DENSE_SKYLINE_FRACTION}) favours "
-                                f"presorting")
+                                f"{self.dense_fraction}{kernels}) "
+                                f"favours presorting")
         else:
             algorithm = "distributed-complete"
             if density is None:
                 algorithm_reason = ("no density estimate; distributed "
                                     "BNL is the robust default")
+            elif self.vectorized and density >= DENSE_SKYLINE_FRACTION:
+                algorithm_reason = (f"sampled density {density:.2f} is "
+                                    f"dense for scalar kernels, but the "
+                                    f"vectorized block-BNL crossover "
+                                    f"sits at "
+                                    f"{self.dense_fraction}")
             else:
                 algorithm_reason = (f"sparse-to-moderate skyline "
                                     f"(sampled density {density:.2f}) "
@@ -418,7 +446,7 @@ class CostModel:
     def _partition_count(self, estimated: int | None,
                          density: float | None) -> tuple[int, str]:
         cap = max(self.num_executors, self.max_workers or 0, 1)
-        if density is not None and density >= DENSE_SKYLINE_FRACTION:
+        if density is not None and density >= self.dense_fraction:
             # Dense local skylines are compute-bound (quadratic window
             # scans): maximise parallelism regardless of row count.
             return cap, ("dense skyline: one partition per "
@@ -442,7 +470,12 @@ class CostModel:
                             "kept", None)
         kinds = {d.kind for d in value_dims}
         uniform = len(kinds) == 1
-        if density is not None and density >= DENSE_SKYLINE_FRACTION:
+        if density is not None and density >= self.dense_fraction \
+                and not self.vectorized:
+            # Scalar kernels: dense local windows make every saved
+            # window scan expensive, so a balancing repartition wins.
+            # Vectorized kernels absorb dense windows block-wise and
+            # fall through to the break-even test below instead.
             if uniform:
                 kind = next(iter(kinds)).name
                 return ("angle", f"dense skyline with uniformly "
@@ -461,12 +494,13 @@ class CostModel:
             return ("keep", "no density/cardinality estimate: child "
                             "partitioning kept", None)
         expected_window = density * estimated / num_partitions
-        if expected_window < REPARTITION_BREAK_EVEN_WINDOW:
+        if expected_window < self.repartition_break_even:
+            suffix = ", vectorized kernels" if self.vectorized else ""
             return ("keep", f"expected local window "
                             f"~{expected_window:.0f} rows is below the "
                             f"repartition break-even "
-                            f"({REPARTITION_BREAK_EVEN_WINDOW}): child "
-                            f"partitioning kept", None)
+                            f"({self.repartition_break_even}{suffix}): "
+                            f"child partitioning kept", None)
         cells = self._grid_cells(value_dims, leaf, stats,
                                  num_partitions)
         if cells is not None and cells >= 2:

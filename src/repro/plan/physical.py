@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import functools
 import itertools
+import math
 from typing import Any, Callable, Sequence
 
-from ..core.algorithms import (global_flagged_task, local_bnl_incomplete_task,
-                               local_bnl_task, local_sfs_task)
 from ..core.dominance import BoundDimension, DimensionKind, null_bitmap
 from ..core.partitioning import partition_rows
+from ..core.vectorized import KernelSet, select_kernels
 from ..engine import expressions as E
 from ..engine.backends import StageTask
 from ..engine.cluster import ExecutionContext
@@ -674,8 +674,8 @@ def _bind_dimensions(items: Sequence[E.SkylineDimension],
 
 def _local_skyline_tasks(ctx: ExecutionContext,
                          partitions: Sequence[list[tuple]],
-                         func: Callable, extra_args: tuple
-                         ) -> list[StageTask]:
+                         func: Callable, extra_args: tuple,
+                         kernel: str = "scalar") -> list[StageTask]:
     """Per-partition skyline tasks in both execution flavours.
 
     ``fn`` is a deadline-aware in-process closure (used by the local and
@@ -690,8 +690,36 @@ def _local_skyline_tasks(ctx: ExecutionContext,
             partition=i, rows_in=len(partition),
             fn=functools.partial(func, *args,
                                  check_deadline=ctx.check_deadline),
-            func=func, args=args))
+            func=func, args=args, kernel=kernel))
     return tasks
+
+
+class _SkylineExec(PhysicalPlan):
+    """Shared plumbing of the skyline operators.
+
+    ``vectorized=True`` selects the columnar NumPy kernels of
+    :mod:`repro.core.vectorized` (which fall back to the scalar
+    reference per partition when the data cannot be columnized);
+    the default keeps the pure-Python kernels.
+    """
+
+    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
+                 child: PhysicalPlan, vectorized: bool = False) -> None:
+        super().__init__()
+        self.children = (child,)
+        self.items = list(items)
+        self.distinct = distinct
+        self.dims = _bind_dimensions(items, child.output)
+        self.kernels: KernelSet = select_kernels(vectorized)
+
+    @property
+    def output(self) -> list[E.AttributeReference]:
+        return self.children[0].output
+
+    def _kernel_label(self, algorithm: str) -> str:
+        if self.kernels.name == "vectorized":
+            return f"vectorized {algorithm}"
+        return algorithm
 
 
 class SkylineRepartitionExec(PhysicalPlan):
@@ -702,19 +730,23 @@ class SkylineRepartitionExec(PhysicalPlan):
     default: ``random`` round-robin, ``grid`` (equi-width cells over the
     oriented dimensions, dominated cells pruned before any per-tuple
     work), or ``angle`` (angular slices, balancing local skylines on
-    anti-correlated data).  Grid and angle need comparable values, so
-    rows with nulls in a value dimension fall back to random.
+    anti-correlated data).  Grid and angle need *finite* comparable
+    values (a NaN or ±inf coordinate makes the cell fraction / angle
+    undefined), so rows with nulls or non-finite floats in a value
+    dimension fall back to random.
     """
 
     def __init__(self, items: Sequence[E.SkylineDimension], scheme: str,
                  num_partitions: int, child: PhysicalPlan,
-                 cells_per_dimension: int | None = None) -> None:
+                 cells_per_dimension: int | None = None,
+                 vectorized: bool = False) -> None:
         super().__init__()
         self.children = (child,)
         self.items = list(items)
         self.scheme = scheme
         self.num_partitions = max(1, num_partitions)
         self.cells_per_dimension = cells_per_dimension
+        self.vectorized = vectorized
         self.dims = _bind_dimensions(items, child.output)
 
     @property
@@ -731,18 +763,23 @@ class SkylineRepartitionExec(PhysicalPlan):
                       if d.kind is not DimensionKind.DIFF]
         scheme = self.scheme
         if scheme in ("grid", "angle") and any(
-                row[d.index] is None for row in rows
-                for d in value_dims):
+                row[d.index] is None or
+                (isinstance(row[d.index], float) and
+                 not math.isfinite(row[d.index]))
+                for row in rows for d in value_dims):
             scheme = "random"
 
         def task(scheme=scheme):
             return partition_rows(
                 rows, dims, scheme, self.num_partitions,
                 prune_cells=scheme == "grid",
-                cells_per_dimension=self.cells_per_dimension)
+                cells_per_dimension=self.cells_per_dimension,
+                vectorized=self.vectorized)
 
         partitions = ctx.run_task(stage, 0, task, len(rows),
-                                  parallelizable=False)
+                                  parallelizable=False,
+                                  kernel=select_kernels(
+                                      self.vectorized).name)
         return RDD(partitions if partitions else [[]])
 
     def node_description(self) -> str:
@@ -750,7 +787,7 @@ class SkylineRepartitionExec(PhysicalPlan):
                 f"{self.num_partitions} partitions)")
 
 
-class SkylineLocalExec(PhysicalPlan):
+class SkylineLocalExec(_SkylineExec):
     """Local (per-partition) BNL skyline -- the distributed stage.
 
     Keeps the child's partitioning ("to avoid unnecessary communication
@@ -758,63 +795,42 @@ class SkylineLocalExec(PhysicalPlan):
     Section 2); each partition's window survivors feed the global node.
     """
 
-    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
-                 child: PhysicalPlan) -> None:
-        super().__init__()
-        self.children = (child,)
-        self.items = list(items)
-        self.distinct = distinct
-        self.dims = _bind_dimensions(items, child.output)
-
-    @property
-    def output(self) -> list[E.AttributeReference]:
-        return self.children[0].output
-
     def execute(self, ctx: ExecutionContext) -> RDD:
         child_rdd = self.children[0].execute(ctx)
         tasks = _local_skyline_tasks(ctx, child_rdd.partitions,
-                                     local_bnl_task,
-                                     (self.dims, self.distinct))
+                                     self.kernels.local_bnl,
+                                     (self.dims, self.distinct),
+                                     kernel=self.kernels.name)
         return RDD(ctx.run_stage(self.stage_name(), tasks))
 
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
-        return f"SkylineLocal(BNL, [{dims}])"
+        return f"SkylineLocal({self._kernel_label('BNL')}, [{dims}])"
 
 
-class SkylineGlobalCompleteExec(PhysicalPlan):
+class SkylineGlobalCompleteExec(_SkylineExec):
     """Global BNL skyline under the ``AllTuples`` distribution."""
-
-    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
-                 child: PhysicalPlan) -> None:
-        super().__init__()
-        self.children = (child,)
-        self.items = list(items)
-        self.distinct = distinct
-        self.dims = _bind_dimensions(items, child.output)
-
-    @property
-    def output(self) -> list[E.AttributeReference]:
-        return self.children[0].output
 
     def execute(self, ctx: ExecutionContext) -> RDD:
         child_rdd = self.children[0].execute(ctx)
         stage = self.stage_name()
         rows = child_rdd.collect()
         ctx.record_shuffle(stage, len(rows))
-        task = functools.partial(local_bnl_task, rows, self.dims,
+        task = functools.partial(self.kernels.local_bnl, rows, self.dims,
                                  self.distinct,
                                  check_deadline=ctx.check_deadline)
         result = ctx.run_task(stage, 0, task, len(rows),
-                              parallelizable=False)
+                              parallelizable=False,
+                              kernel=self.kernels.name)
         return RDD([result])
 
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
-        return f"SkylineGlobalComplete(BNL, [{dims}])"
+        return f"SkylineGlobalComplete({self._kernel_label('BNL')}, " \
+               f"[{dims}])"
 
 
-class SkylineLocalIncompleteExec(PhysicalPlan):
+class SkylineLocalIncompleteExec(_SkylineExec):
     """Local skylines under the null-bitmap distribution (Section 5.7).
 
     The child's rows are re-distributed so that all tuples sharing a
@@ -824,18 +840,6 @@ class SkylineLocalIncompleteExec(PhysicalPlan):
     is then safe per partition.
     """
 
-    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
-                 child: PhysicalPlan) -> None:
-        super().__init__()
-        self.children = (child,)
-        self.items = list(items)
-        self.distinct = distinct
-        self.dims = _bind_dimensions(items, child.output)
-
-    @property
-    def output(self) -> list[E.AttributeReference]:
-        return self.children[0].output
-
     def execute(self, ctx: ExecutionContext) -> RDD:
         child_rdd = self.children[0].execute(ctx)
         stage = self.stage_name()
@@ -844,98 +848,76 @@ class SkylineLocalIncompleteExec(PhysicalPlan):
         partitioned = child_rdd.partition_by_key(
             lambda row: null_bitmap(row, dims))
         tasks = _local_skyline_tasks(ctx, partitioned.partitions,
-                                     local_bnl_incomplete_task, (dims,))
+                                     self.kernels.local_bnl_incomplete,
+                                     (dims,), kernel=self.kernels.name)
         return RDD(ctx.run_stage(stage, tasks))
 
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
-        return f"SkylineLocalIncomplete(bitmap-partitioned BNL, [{dims}])"
+        label = self._kernel_label("bitmap-partitioned BNL")
+        return f"SkylineLocalIncomplete({label}, [{dims}])"
 
 
-class SkylineGlobalIncompleteExec(PhysicalPlan):
+class SkylineGlobalIncompleteExec(_SkylineExec):
     """Flag-based all-pairs global skyline for incomplete data.
 
     Cannot delete dominated tuples early (cyclic dominance, Appendix A);
     compares all pairs, flags, and deletes at the end.
     """
 
-    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
-                 child: PhysicalPlan) -> None:
-        super().__init__()
-        self.children = (child,)
-        self.items = list(items)
-        self.distinct = distinct
-        self.dims = _bind_dimensions(items, child.output)
-
-    @property
-    def output(self) -> list[E.AttributeReference]:
-        return self.children[0].output
-
     def execute(self, ctx: ExecutionContext) -> RDD:
         child_rdd = self.children[0].execute(ctx)
         stage = self.stage_name()
         rows = child_rdd.collect()
         ctx.record_shuffle(stage, len(rows))
-        task = functools.partial(global_flagged_task, rows, self.dims,
-                                 self.distinct,
+        task = functools.partial(self.kernels.global_flagged, rows,
+                                 self.dims, self.distinct,
                                  check_deadline=ctx.check_deadline)
         result = ctx.run_task(stage, 0, task, len(rows),
-                              parallelizable=False)
+                              parallelizable=False,
+                              kernel=self.kernels.name)
         return RDD([result])
 
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
-        return f"SkylineGlobalIncomplete(all-pairs flagged, [{dims}])"
+        label = self._kernel_label("all-pairs flagged")
+        return f"SkylineGlobalIncomplete({label}, [{dims}])"
 
 
-class SkylineLocalSFSExec(PhysicalPlan):
+class SkylineLocalSFSExec(_SkylineExec):
     """Local skyline via Sort-Filter-Skyline -- the future-work algorithm
     (Section 7), available through the ``skyline.algorithm=sfs`` session
     option and exercised by the ablation benchmarks."""
 
-    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
-                 child: PhysicalPlan) -> None:
-        super().__init__()
-        self.children = (child,)
-        self.items = list(items)
-        self.distinct = distinct
-        self.dims = _bind_dimensions(items, child.output)
-
-    @property
-    def output(self) -> list[E.AttributeReference]:
-        return self.children[0].output
-
     def execute(self, ctx: ExecutionContext) -> RDD:
         child_rdd = self.children[0].execute(ctx)
         tasks = _local_skyline_tasks(ctx, child_rdd.partitions,
-                                     local_sfs_task,
-                                     (self.dims, self.distinct))
+                                     self.kernels.local_sfs,
+                                     (self.dims, self.distinct),
+                                     kernel=self.kernels.name)
         return RDD(ctx.run_stage(self.stage_name(), tasks))
 
+    def node_description(self) -> str:
+        dims = ", ".join(i.sql() for i in self.items)
+        return f"SkylineLocalSFS({self._kernel_label('SFS')}, [{dims}])"
 
-class SkylineGlobalSFSExec(PhysicalPlan):
+
+class SkylineGlobalSFSExec(_SkylineExec):
     """Global SFS skyline under the ``AllTuples`` distribution."""
-
-    def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
-                 child: PhysicalPlan) -> None:
-        super().__init__()
-        self.children = (child,)
-        self.items = list(items)
-        self.distinct = distinct
-        self.dims = _bind_dimensions(items, child.output)
-
-    @property
-    def output(self) -> list[E.AttributeReference]:
-        return self.children[0].output
 
     def execute(self, ctx: ExecutionContext) -> RDD:
         child_rdd = self.children[0].execute(ctx)
         stage = self.stage_name()
         rows = child_rdd.collect()
         ctx.record_shuffle(stage, len(rows))
-        task = functools.partial(local_sfs_task, rows, self.dims,
+        task = functools.partial(self.kernels.local_sfs, rows, self.dims,
                                  self.distinct,
                                  check_deadline=ctx.check_deadline)
         result = ctx.run_task(stage, 0, task, len(rows),
-                              parallelizable=False)
+                              parallelizable=False,
+                              kernel=self.kernels.name)
         return RDD([result])
+
+    def node_description(self) -> str:
+        dims = ", ".join(i.sql() for i in self.items)
+        return f"SkylineGlobalSFS({self._kernel_label('SFS')}, [{dims}])"

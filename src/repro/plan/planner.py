@@ -60,7 +60,8 @@ class Planner:
                  catalog=None, num_executors: int = 2,
                  max_workers: int | None = None,
                  partitioning: str = "keep",
-                 num_partitions: int | None = None) -> None:
+                 num_partitions: int | None = None,
+                 vectorized: bool = False) -> None:
         if skyline_strategy not in SKYLINE_STRATEGIES:
             raise PlanningError(
                 f"unknown skyline strategy {skyline_strategy!r}; expected "
@@ -75,6 +76,9 @@ class Planner:
         self.max_workers = max_workers
         self.partitioning = partitioning
         self.num_partitions = num_partitions
+        #: True when the skyline operators should run the columnar
+        #: NumPy kernels (:mod:`repro.core.vectorized`).
+        self.vectorized = vectorized
         #: One entry per planned skyline operator, in plan order.
         self.decisions: list = []
 
@@ -188,7 +192,8 @@ class Planner:
             # Section 7's lightweight cost-based selection, fed by the
             # statistics subsystem.
             model = CostModel(self.catalog, self.num_executors,
-                              self.max_workers)
+                              self.max_workers,
+                              vectorized=self.vectorized)
             decision = model.decide(node)
             strategy = decision.algorithm
             if self.skyline_strategy == "adaptive" and \
@@ -213,21 +218,29 @@ class Planner:
         self.decisions.append(applied_decision(
             decision, strategy, partitioning if applies else "keep",
             applied_count, auto=self.skyline_strategy == "auto"))
+        vectorized = self.vectorized
         if applies:
             child = P.SkylineRepartitionExec(
                 items, partitioning, applied_count, child,
-                cells_per_dimension=grid_cells)
+                cells_per_dimension=grid_cells, vectorized=vectorized)
         if strategy == "distributed-complete":
-            local = P.SkylineLocalExec(items, node.distinct, child)
-            return P.SkylineGlobalCompleteExec(items, node.distinct, local)
+            local = P.SkylineLocalExec(items, node.distinct, child,
+                                       vectorized=vectorized)
+            return P.SkylineGlobalCompleteExec(items, node.distinct, local,
+                                               vectorized=vectorized)
         if strategy == "non-distributed-complete":
-            return P.SkylineGlobalCompleteExec(items, node.distinct, child)
+            return P.SkylineGlobalCompleteExec(items, node.distinct, child,
+                                               vectorized=vectorized)
         if strategy == "distributed-incomplete":
-            local = P.SkylineLocalIncompleteExec(items, node.distinct, child)
-            return P.SkylineGlobalIncompleteExec(items, node.distinct, local)
+            local = P.SkylineLocalIncompleteExec(items, node.distinct, child,
+                                                 vectorized=vectorized)
+            return P.SkylineGlobalIncompleteExec(items, node.distinct, local,
+                                                 vectorized=vectorized)
         if strategy == "sfs":
-            local = P.SkylineLocalSFSExec(items, node.distinct, child)
-            return P.SkylineGlobalSFSExec(items, node.distinct, local)
+            local = P.SkylineLocalSFSExec(items, node.distinct, child,
+                                          vectorized=vectorized)
+            return P.SkylineGlobalSFSExec(items, node.distinct, local,
+                                          vectorized=vectorized)
         raise PlanningError(f"unhandled skyline strategy {strategy!r}")
 
 

@@ -5,6 +5,7 @@ import pytest
 from repro import (INTEGER, STRING, BenchmarkTimeout, SkylineSession)
 from repro.engine.cluster import ClusterConfig
 from repro.engine.row import Field, Schema
+from repro.sql.parser import parse_query
 
 
 class TestConfiguration:
@@ -132,3 +133,65 @@ class TestBackendConfiguration:
         session = SkylineSession(backend=backend)
         assert session.backend is backend
         assert session.with_executors(4).backend is backend
+
+
+class TestVectorizedConfiguration:
+    def test_default_is_auto(self):
+        session = SkylineSession()
+        assert session.vectorized == "auto"
+        from repro.core.vectorized import numpy_available
+        assert session.vectorized_enabled == numpy_available()
+
+    def test_false_disables(self):
+        assert SkylineSession(vectorized=False).vectorized_enabled is False
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError, match="vectorized"):
+            SkylineSession(vectorized="yes")
+        with pytest.raises(ValueError, match="vectorized"):
+            SkylineSession().with_vectorized("maybe")
+
+    def test_int_aliases_rejected(self):
+        # Regression: 1 == True under membership tests, but the NumPy
+        # requirement check uses identity -- so vectorized=1 would pass
+        # validation yet silently require nothing.  Reject ints.
+        for bad in (1, 0):
+            with pytest.raises(ValueError, match="vectorized"):
+                SkylineSession(vectorized=bad)
+            with pytest.raises(ValueError, match="vectorized"):
+                SkylineSession().with_vectorized(bad)
+
+    def test_with_vectorized_clones_and_shares_catalog(self):
+        session = SkylineSession(vectorized=False)
+        session.create_table("v", [("a", INTEGER, False)], [(1,), (2,)])
+        clone = session.with_vectorized("auto")
+        assert clone.catalog is session.catalog
+        assert session.vectorized is False
+        assert clone.vectorized == "auto"
+
+    def test_clones_inherit_the_flag(self):
+        session = SkylineSession(vectorized=False)
+        assert session.with_executors(4).vectorized is False
+
+    def test_true_requires_numpy(self):
+        from repro.core.vectorized import numpy_available
+        if numpy_available():
+            assert SkylineSession(vectorized=True).vectorized_enabled
+        else:
+            with pytest.raises(ValueError, match="NumPy"):
+                SkylineSession(vectorized=True)
+
+    def test_explain_labels_the_kernels(self):
+        from repro.core.vectorized import numpy_available
+        if not numpy_available():
+            pytest.skip("NumPy not available")
+        session = SkylineSession(vectorized=True)
+        session.create_table(
+            "pts", [("a", INTEGER, False), ("b", INTEGER, False)],
+            [(1, 2), (2, 1)])
+        text = session.explain(parse_query(
+            "SELECT * FROM pts SKYLINE OF a MIN, b MIN"))
+        assert "vectorized BNL" in text
+        scalar = session.with_vectorized(False)
+        assert "vectorized" not in scalar.explain(parse_query(
+            "SELECT * FROM pts SKYLINE OF a MIN, b MIN"))

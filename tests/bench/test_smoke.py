@@ -62,3 +62,28 @@ class TestBackendTable:
         text = format_backend_table("Backends", results)
         assert "real [s]" in text and "simulated [s]" in text
         assert "process" in text and "1.00x" in text
+
+
+class TestVectorizedAblation:
+    def test_report_fields_and_agreement(self):
+        import pytest
+        from repro.bench.vectorized import (measure_vectorized_speedup,
+                                           render_vectorized_report)
+        from repro.core.vectorized import numpy_available
+        if not numpy_available():
+            with pytest.raises(RuntimeError, match="NumPy"):
+                measure_vectorized_speedup(num_rows=100)
+            return
+        report = measure_vectorized_speedup(num_rows=400,
+                                            num_dimensions=3,
+                                            num_partitions=2)
+        encoded = json.loads(json.dumps(report))
+        assert encoded["kind"] == "vectorized"
+        assert len(encoded["workloads"]) == 2
+        for entry in encoded["workloads"]:
+            assert set(entry["kernels"]) == {"bnl", "sfs"}
+            assert entry["query"]["skyline_rows"] > 0
+        assert encoded["best_local_speedup"] > 0
+        text = render_vectorized_report(report)
+        assert "best local-phase speedup" in text
+        assert "full query" in text

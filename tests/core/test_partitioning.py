@@ -117,6 +117,25 @@ class TestCellPruning:
         cells = {(1, 1): [(2.0, 2.0)]}
         assert prune_dominated_cells(cells) == cells
 
+    def test_vectorized_false_forces_scalar_pruning(self, monkeypatch):
+        # Regression: a vectorized=False session pins the scalar kernels
+        # everywhere -- including cell pruning on grids large enough to
+        # dispatch to NumPy.
+        import repro.core.vectorized as V
+
+        def boom(cells):
+            raise AssertionError("NumPy pruning ran despite "
+                                 "vectorized=False")
+
+        monkeypatch.setattr(V, "prune_dominated_cells_vec", boom)
+        cells = {(i, j): [(float(i), float(j))]
+                 for i in range(8) for j in range(8)}
+        survivors = prune_dominated_cells(cells, vectorized=False)
+        # Only the axis cells survive (a cell dies iff another is
+        # strictly smaller on *every* coordinate).
+        assert set(survivors) == {(i, j) for i in range(8)
+                                  for j in range(8) if i == 0 or j == 0}
+
 
 class TestAnglePartitions:
     def test_partition_count_respected(self):

@@ -64,3 +64,24 @@ class TestSfsSkyline:
         values = {(r[0], r[1]) for r in result}
         assert values == {(1, 1), (0, 2)}
         assert len(result) == 2
+
+    def test_rounding_tie_evicts_dominated_row(self):
+        # Regression: monotone scores are only weakly monotone under
+        # float rounding -- both rows sum to exactly 1e16, the dominated
+        # one stably sorts first, and without the equal-score eviction
+        # it wrongly survived the insertion-is-final window.
+        rows = [(1e16, 0.6), (1e16, 0.4)]
+        assert sfs_skyline(rows, MIN2) == [(1e16, 0.4)] == \
+            bnl_skyline(rows, MIN2)
+
+    def test_rounding_tie_chain(self):
+        # A whole run of tied scores where each row dominates the
+        # previous one: only the last survives.
+        rows = [(1e16, 0.9 - i * 1e-3) for i in range(40)]
+        assert sfs_skyline(rows, MIN2) == [rows[-1]]
+
+    def test_exact_tie_without_dominance_keeps_all(self):
+        # Anti-correlated integers all score the same; no dominance, so
+        # the eviction pass must not drop anything.
+        rows = [(i, 30 - i) for i in range(31)]
+        assert sorted(sfs_skyline(rows, MIN2)) == sorted(rows)

@@ -1,0 +1,300 @@
+"""Columnar NumPy kernels: agreement with the scalar reference,
+columnization edge cases, and the pinned NaN/±inf semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.vectorized as V
+from repro.core import (bnl_skyline, dominates, flagged_global_skyline,
+                        make_dimensions, prune_dominated_cells,
+                        sfs_skyline, vec_bnl_skyline,
+                        vec_flagged_global_skyline, vec_sfs_skyline)
+from repro.core.bnl import bnl_skyline as bnl
+from repro.core.dominance import DominanceStats, dominates_incomplete
+from repro.core.vectorized import (columnize, prune_dominated_cells_vec,
+                                   select_kernels,
+                                   vec_bnl_skyline_incomplete)
+
+pytestmark = pytest.mark.skipif(not V.numpy_available(),
+                                reason="NumPy not available")
+
+NAN = float("nan")
+INF = float("inf")
+MIN2 = make_dimensions([(0, "min"), (1, "min")])
+MIXED3 = make_dimensions([(0, "min"), (1, "max"), (2, "diff")])
+
+values = st.sampled_from([0, 1, 2, 3, 1.5, -2.0])
+rows_2d = st.lists(st.tuples(values, values), max_size=60)
+rows_3d = st.lists(st.tuples(values, values, values), max_size=60)
+maybe = st.one_of(st.none(), values)
+rows_nullable = st.lists(st.tuples(maybe, maybe, maybe), max_size=50)
+special = st.sampled_from([0, 1, 2, NAN, INF, -INF])
+rows_special = st.lists(st.tuples(special, special), max_size=40)
+
+
+def srt(rows):
+    return sorted(rows, key=repr)
+
+
+class TestColumnize:
+    def test_orientation_and_shape(self):
+        block = columnize([(1, 2, "a"), (3, 4, "b")], MIXED3)
+        assert block.values.shape == (2, 2)
+        # MAX dimension negated so smaller is uniformly better.
+        assert list(block.values[:, 1]) == [-2.0, -4.0]
+        assert block.diff_keys == [("a",), ("b",)]
+
+    def test_null_mask_and_nan_encoding(self):
+        block = columnize([(None, 1), (2, None)], MIN2)
+        assert block.null_mask.tolist() == [[True, False], [False, True]]
+        assert math.isnan(block.values[0, 0])
+        assert not block.has_nan_data  # encoded nulls are not NaN data
+
+    def test_nan_data_is_not_a_null(self):
+        block = columnize([(NAN, 1)], MIN2)
+        assert block.has_nan_data
+        assert not block.null_mask.any()
+
+    def test_non_numeric_returns_none(self):
+        assert columnize([("x", 1)], MIN2) is None
+
+    def test_big_int_returns_none(self):
+        assert columnize([(2 ** 60, 1)], MIN2) is None
+        # Exactly representable magnitudes still columnize.
+        assert columnize([(2 ** 53, 1)], MIN2) is not None
+
+    def test_empty_input(self):
+        block = columnize([], MIN2)
+        assert block.num_rows == 0
+        assert vec_bnl_skyline([], MIN2) == []
+
+    def test_uniform_null_pattern(self):
+        assert columnize([(None, 1), (None, 2)],
+                         MIN2).uniform_null_pattern()
+        assert not columnize([(None, 1), (1, None)],
+                             MIN2).uniform_null_pattern()
+
+
+class TestKernelAgreement:
+    @given(rows_3d, st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_bnl_matches_scalar(self, rows, distinct):
+        assert srt(vec_bnl_skyline(rows, MIXED3, distinct=distinct)) == \
+            srt(bnl_skyline(rows, MIXED3, distinct=distinct))
+
+    @given(rows_3d, st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_sfs_matches_scalar(self, rows, distinct):
+        # Exact list equality: the vectorized kernel must reproduce the
+        # scalar kernel's global-score-order output, DIFF groups and all.
+        assert vec_sfs_skyline(rows, MIXED3, distinct=distinct) == \
+            sfs_skyline(rows, MIXED3, distinct=distinct)
+
+    def test_sfs_diff_groups_keep_global_score_order(self):
+        # Regression: per-DIFF-group processing must not reorder the
+        # output -- scalar SFS emits one global score order.
+        dims = make_dimensions([(0, "diff"), (1, "min"), (2, "min")])
+        rows = [("g2", 5, 5), ("g1", 1, 9), ("g2", 1, 1), ("g1", 9, 1)]
+        assert vec_sfs_skyline(rows, dims) == sfs_skyline(rows, dims) == \
+            [("g2", 1, 1), ("g1", 1, 9), ("g1", 9, 1)]
+
+    def test_sfs_mixed_finite_groups_route_whole_input_to_bnl(self):
+        # Scalar SFS falls back to BNL when *any* score is non-finite,
+        # even if only one DIFF group is affected -- the vectorized
+        # kernel must mirror that, including the input-order output.
+        dims = make_dimensions([(0, "diff"), (1, "min"), (2, "min")])
+        rows = [("g1", INF, -INF), ("g2", 2, 2), ("g1", 0, 0),
+                ("g2", 1, 3)]
+        assert vec_sfs_skyline(rows, dims) == sfs_skyline(rows, dims)
+
+    @given(rows_nullable, st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_flagged_matches_scalar(self, rows, distinct):
+        dims = make_dimensions([(0, "min"), (1, "max"), (2, "min")])
+        assert srt(vec_flagged_global_skyline(
+            rows, dims, distinct=distinct)) == \
+            srt(flagged_global_skyline(rows, dims, distinct=distinct))
+
+    @given(rows_2d)
+    @settings(max_examples=80, deadline=None)
+    def test_incomplete_bnl_matches_scalar_per_bitmap(self, rows):
+        # Uniform null pattern (the engine's per-partition guarantee).
+        nulled = [(None, b) for _, b in rows]
+        assert srt(vec_bnl_skyline_incomplete(nulled, MIN2)) == \
+            srt(bnl(nulled, MIN2, dominance=dominates_incomplete))
+
+    def test_complete_kernels_raise_on_nulls_like_scalar(self):
+        # Regression: nulls fed to the complete-data kernels must not
+        # silently switch to null-skipping semantics -- the scalar
+        # reference raises, so the vectorized kernels defer and raise.
+        rows = [(None, 1.0), (2.0, 2.0)]
+        for kernel in (vec_bnl_skyline, vec_sfs_skyline,
+                       bnl_skyline, sfs_skyline):
+            with pytest.raises(TypeError):
+                kernel(rows, MIN2)
+
+    def test_incomplete_null_diff_key_matches_scalar(self):
+        # Regression: a null DIFF value is skipped by the null-restricted
+        # comparison (cross-group dominance), which hash grouping cannot
+        # express -- the vectorized kernel must defer to the scalar one.
+        dims = make_dimensions([(0, "min"), (1, "diff")])
+        rows = [(1.0, None), (2.0, "x")]
+        assert srt(vec_bnl_skyline_incomplete(rows, dims)) == \
+            srt(bnl(rows, dims, dominance=dominates_incomplete))
+        assert vec_bnl_skyline_incomplete(rows, dims) == [(1.0, None)]
+
+    def test_incomplete_mixed_bitmaps_fall_back(self):
+        # Heterogeneous null patterns: the vectorized kernel must defer
+        # to the scalar window semantics (dominance is not transitive).
+        rows = [(None, 1), (1, None), (2, 2), (0, 3)]
+        assert srt(vec_bnl_skyline_incomplete(rows, MIN2)) == \
+            srt(bnl(rows, MIN2, dominance=dominates_incomplete))
+
+    def test_blocks_larger_than_block_rows(self):
+        import random
+        rng = random.Random(7)
+        rows = [(rng.random(), rng.random())
+                for _ in range(V.BLOCK_ROWS * 3 + 17)]
+        assert srt(vec_bnl_skyline(rows, MIN2)) == \
+            srt(bnl_skyline(rows, MIN2))
+        assert srt(vec_sfs_skyline(rows, MIN2)) == \
+            srt(sfs_skyline(rows, MIN2))
+
+    def test_stats_are_populated(self):
+        stats = DominanceStats()
+        rows = [(i % 5, (i * 7) % 5) for i in range(50)]
+        vec_bnl_skyline(rows, MIN2, stats=stats)
+        assert stats.comparisons > 0
+        assert stats.window_peak > 0
+
+
+class TestPinnedNaNSemantics:
+    """Regression net for the NaN/±inf behaviour pinned in
+    :mod:`repro.core.dominance`."""
+
+    def test_nan_dimension_carries_no_information(self):
+        assert dominates((1, NAN), (2, 5), MIN2)
+        assert dominates((NAN, 1), (NAN, 2), MIN2)
+        # NaN itself never blocks and never counts as strictly better.
+        assert not dominates((NAN, 1), (1, 1), MIN2)
+        assert not dominates((NAN, NAN), (1, 2), MIN2)
+
+    def test_infinities_order_normally(self):
+        assert dominates((-INF, 1), (0, 1), MIN2)
+        assert not dominates((INF, 0), (0, 0), MIN2)
+
+    def test_scalar_sfs_falls_back_on_nan(self):
+        rows = [(NAN, 2), (1, 1), (0, 3), (2, 0)]
+        assert srt(sfs_skyline(rows, MIN2)) == srt(bnl_skyline(rows, MIN2))
+
+    def test_sfs_rounding_tie_evicts_dominated_row(self):
+        # Regression: float addition absorbs sub-ulp differences (both
+        # rows score exactly 1e16), stably sorting the dominated row
+        # first -- insertion-is-final must not keep it.
+        rows = [(1e16, 0.6), (1e16, 0.4)]
+        assert sfs_skyline(rows, MIN2) == [(1e16, 0.4)]
+        assert vec_sfs_skyline(rows, MIN2) == [(1e16, 0.4)]
+        assert srt(bnl_skyline(rows, MIN2)) == srt([(1e16, 0.4)])
+
+    def test_sfs_rounding_tie_across_chunk_boundary(self):
+        # The dominator of every earlier row sits in a later chunk of
+        # the same equal-score run -- the vectorized windowed scan alone
+        # would miss it.
+        n = V.BLOCK_ROWS + 5
+        rows = [(1e16, 0.9 - i * 1e-4) for i in range(n)]
+        expected = [rows[-1]]
+        assert sfs_skyline(rows, MIN2) == expected
+        assert vec_sfs_skyline(rows, MIN2) == expected
+
+    def test_sfs_exact_tie_without_dominance_keeps_all(self):
+        # Anti-correlated integers: every row scores exactly the same
+        # and none dominates -- the tie cleanup must keep them all, in
+        # the stable (input) order.
+        n = V.BLOCK_ROWS * 2 + 9
+        rows = [(float(i), float(n - i)) for i in range(n)]
+        assert vec_sfs_skyline(rows, MIN2) == sfs_skyline(rows, MIN2)
+        assert len(vec_sfs_skyline(rows, MIN2)) == n
+
+    def test_scalar_sfs_falls_back_on_absorbing_inf(self):
+        # Regression: -inf absorbs the monotone score, tying the
+        # dominated (-inf, 2) with its dominator (-inf, -2) -- without
+        # the non-finite fallback SFS kept the dominated row.
+        rows = [(-INF, 2), (-INF, -2.0), (0, 0)]
+        assert srt(sfs_skyline(rows, MIN2)) == srt([(-INF, -2.0)])
+
+    @given(rows_special, st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_vectorized_agrees_on_special_values(self, rows, distinct):
+        assert srt(vec_bnl_skyline(rows, MIN2, distinct=distinct)) == \
+            srt(bnl_skyline(rows, MIN2, distinct=distinct))
+        assert srt(vec_sfs_skyline(rows, MIN2, distinct=distinct)) == \
+            srt(sfs_skyline(rows, MIN2, distinct=distinct))
+
+    @given(st.lists(st.tuples(st.one_of(st.none(), special),
+                              st.one_of(st.none(), special)),
+                    max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_flagged_agrees_on_special_and_null_values(self, rows):
+        assert srt(vec_flagged_global_skyline(rows, MIN2)) == \
+            srt(flagged_global_skyline(rows, MIN2))
+
+    def test_distinct_never_merges_nan_rows(self):
+        # NaN != NaN: DISTINCT must keep both NaN rows (they are not
+        # equal on the dimensions), matching equal_on_dimensions.
+        rows = [(NAN, 1), (NAN, 1)]
+        assert len(vec_bnl_skyline(rows, MIN2, distinct=True)) == 2
+        assert len(bnl_skyline(rows, MIN2, distinct=True)) == 2
+
+    def test_distinct_merges_null_rows(self):
+        rows = [(None, 1, 0), (None, 1, 5)]
+        dims = make_dimensions([(0, "min"), (1, "min")])
+        assert len(vec_flagged_global_skyline(
+            rows, dims, distinct=True)) == 1
+
+
+class TestFallbacks:
+    def test_kernels_fall_back_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(V, "np", None)
+        monkeypatch.setattr(V, "HAVE_NUMPY", False)
+        rows = [(2, 2), (1, 1), (0, 3)]
+        assert columnize(rows, MIN2) is None
+        assert srt(vec_bnl_skyline(rows, MIN2)) == \
+            srt(bnl_skyline(rows, MIN2))
+        assert select_kernels(True).name == "scalar"
+
+    def test_select_kernels(self):
+        assert select_kernels(False).name == "scalar"
+        assert select_kernels(True).name == "vectorized"
+
+    def test_non_numeric_rows_fall_back(self):
+        rows = [("b", 2), ("a", 1), ("c", 0)]
+        dims = make_dimensions([(0, "min"), (1, "min")])
+        assert srt(vec_bnl_skyline(rows, dims)) == \
+            srt(bnl_skyline(rows, dims))
+
+
+class TestCellPruning:
+    def test_matches_scalar_pruning(self):
+        import random
+        rng = random.Random(3)
+        cells = {}
+        for _ in range(80):
+            coord = (rng.randrange(6), rng.randrange(6), rng.randrange(6))
+            cells.setdefault(coord, []).append(coord)
+        scalar = {
+            cell for cell in cells
+            if not any(other != cell and all(o < c for o, c in
+                                             zip(other, cell))
+                       for other in cells)}
+        assert set(prune_dominated_cells_vec(cells)) == scalar
+        # The public entry point dispatches to the vectorized path for
+        # grids this size and must agree too.
+        assert set(prune_dominated_cells(cells)) == scalar
+
+    def test_degenerate_grids(self):
+        assert prune_dominated_cells_vec({(): ["r"]}) == {(): ["r"]}
+        mixed = {(0,): ["a"], (1, 1): ["b"]}
+        assert prune_dominated_cells_vec(mixed) == mixed

@@ -166,8 +166,11 @@ class TestCostModelDecisions:
 
 class TestExplainReportsDecision:
     def test_adaptive_explain_contains_full_decision(self):
+        # Scalar kernels: the dense anticorrelated class picks SFS with
+        # an angle repartition (vectorized kernels shift both choices,
+        # covered by TestVectorizedCostModel).
         session = make_session(anticorrelated_rows(2000, 3, spread=0.02),
-                               adaptive=True)
+                               adaptive=True, vectorized=False)
         text = session.explain(parse_query(SQL3))
         assert "== Skyline Strategy ==" in text
         assert "algorithm    = sfs" in text
@@ -203,6 +206,46 @@ class TestExplainReportsDecision:
         assert "SkylineRepartition(angle, 3 partitions)" in text
 
 
+class TestVectorizedCostModel:
+    """The vectorized kernels shift the cost model's crossovers."""
+
+    def test_vectorized_raises_the_sfs_crossover(self):
+        # Density ~0.3 sits between the scalar (0.25) and vectorized
+        # (0.5) crossover: scalar picks SFS, vectorized keeps BNL.
+        session = make_session(anticorrelated_rows(2000, 3, spread=0.12))
+        node = skyline_node(session, SQL3)
+        scalar = CostModel(session.catalog, num_executors=4).decide(node)
+        vector = CostModel(session.catalog, num_executors=4,
+                           vectorized=True).decide(node)
+        density = scalar.skyline_density
+        assert density is not None and 0.25 <= density < 0.5, density
+        assert scalar.algorithm == "sfs"
+        assert vector.algorithm == "distributed-complete"
+        assert "vectorized" in vector.algorithm_reason
+
+    def test_vectorized_raises_the_repartition_break_even(self):
+        session = make_session(anticorrelated_rows(2000, 3, spread=0.02))
+        node = skyline_node(session, SQL3)
+        scalar = CostModel(session.catalog, num_executors=4).decide(node)
+        vector = CostModel(session.catalog, num_executors=4,
+                           vectorized=True).decide(node)
+        assert scalar.partitioning == "angle"
+        assert vector.partitioning == "keep"
+
+    def test_planner_threads_the_session_flag(self):
+        from repro.core.vectorized import numpy_available
+        if not numpy_available():
+            pytest.skip("NumPy not available")
+        rows = anticorrelated_rows(2000, 3, spread=0.02)
+        forced = make_session(rows, adaptive=True, vectorized=False)
+        text = forced.explain(parse_query(SQL3))
+        assert "partitioning = angle" in text
+        auto = make_session(rows, adaptive=True, vectorized=True)
+        text = auto.explain(parse_query(SQL3))
+        assert "partitioning = keep" in text
+        assert "vectorized" in text
+
+
 class TestGridPruningWithDiffDimensions:
     def test_grid_keeps_rows_dominated_only_across_diff_groups(self):
         # Regression: cell-dominance pruning ignores DIFF dimensions,
@@ -229,8 +272,11 @@ class TestExplainReportsAppliedChoices:
     def test_cost_based_explain_does_not_claim_unapplied_scheme(self):
         # cost-based selects the algorithm only; EXPLAIN must not
         # report the model's partitioning proposal as if it ran.
+        # (vectorized=False so the model proposes a scheme at all --
+        # the vectorized break-even keeps the child partitioning here.)
         session = make_session(anticorrelated_rows(2000, 3, spread=0.02),
-                               skyline_algorithm="cost-based")
+                               skyline_algorithm="cost-based",
+                               vectorized=False)
         text = session.explain(parse_query(SQL3))
         assert "SkylineRepartition" not in text
         assert "partitioning = keep" in text

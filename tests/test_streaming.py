@@ -112,6 +112,113 @@ class TestCheckpointing:
         assert (0, 0) in restored.current()
 
 
+class TestNullBuffering:
+    """The ``allow_nulls=True`` buffering path (Section 5.7 cost
+    profile): null rows are parked and the skyline is recomputed with
+    the flag-based algorithm on demand."""
+
+    def test_null_rows_count_as_seen_not_dropped(self):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        stream.add_all([(None, 1), (2, 2), (1, None)])
+        assert stream.rows_seen == 3
+        assert stream.rows_dropped == 0
+        # The window holds only the complete row; nulls sit in the
+        # buffer and do not inflate window_size.
+        assert stream.window_size == 1
+
+    def test_add_reports_survival_for_buffered_nulls(self):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        assert stream.add((None, 5)) is True  # buffered, not judged yet
+        # Even a row the current skyline would reject is buffered.
+        stream.add((0, 0))
+        assert stream.add((None, 9)) is True
+
+    def test_current_is_recomputed_after_each_add(self):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        stream.add((None, 1))
+        assert sorted(stream.current(), key=repr) == [(None, 1)]
+        stream.add((3, 0))
+        # (3, 0) beats (None, 1) on the common dimension.
+        assert sorted(stream.current(), key=repr) == [(3, 0)]
+        stream.add((None, 0))
+        expected = skyline_oracle([(None, 1), (3, 0), (None, 0)], MIN2,
+                                  complete=False)
+        assert sorted(stream.current(), key=repr) == \
+            sorted(expected, key=repr)
+
+    def test_process_batch_with_nulls_reports_skyline_size(self):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        report = stream.process_batch([(2, 2), (None, 1)])
+        # The delta tracks the complete-row window; the size reflects
+        # the full null-aware skyline.
+        assert report["added"] == [(2, 2)]
+        assert report["skyline_size"] == len(stream.current())
+
+    def test_distinct_applies_to_buffered_nulls(self):
+        stream = SkylineStream(MIN2, distinct=True, allow_nulls=True)
+        stream.add_all([(None, 0), (None, 0), (9, 9)])
+        assert sorted(stream.current(), key=repr) == [(None, 0)]
+
+    def test_checkpoint_preserves_null_buffer(self):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        stream.add_all([(1, 1), (None, 0), (None, 2)])
+        state = stream.checkpoint()
+        assert sorted(state["null_buffer"]) == [(None, 0), (None, 2)]
+        restored = SkylineStream.restore(MIN2, state, allow_nulls=True)
+        restored.add((None, 3))
+        expected = skyline_oracle(
+            [(1, 1), (None, 0), (None, 2), (None, 3)], MIN2,
+            complete=False)
+        assert sorted(restored.current(), key=repr) == \
+            sorted(expected, key=repr)
+
+    def test_restored_stream_without_allow_nulls_rejects_new_nulls(self):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        stream.add((2, 2))
+        restored = SkylineStream.restore(MIN2, stream.checkpoint())
+        with pytest.raises(ExecutionError, match="allow_nulls"):
+            restored.add((None, 1))
+
+
+class TestStreamMatchesBatchEngine:
+    """SkylineStream and the batch engine must agree on the same row
+    sequence -- the stream is the incremental view of the same query."""
+
+    def _engine_skyline(self, rows, nullable=False):
+        from repro import SkylineSession
+        from repro.engine.types import INTEGER
+        session = SkylineSession(num_executors=2)
+        session.create_table(
+            "s", [("a", INTEGER, nullable), ("b", INTEGER, nullable)],
+            rows)
+        return session.sql(
+            "SELECT * FROM s SKYLINE OF a MIN, b MIN").to_tuples()
+
+    @given(rows_2d)
+    @settings(max_examples=40, deadline=None)
+    def test_complete_sequences_agree(self, rows):
+        stream = SkylineStream(MIN2)
+        stream.add_all(rows)
+        assert sorted(stream.current()) == \
+            sorted(self._engine_skyline(rows))
+
+    @given(rows_nullable)
+    @settings(max_examples=30, deadline=None)
+    def test_nullable_sequences_agree(self, rows):
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        stream.add_all(rows)
+        assert sorted(stream.current(), key=repr) == \
+            sorted(self._engine_skyline(rows, nullable=True), key=repr)
+
+    def test_micro_batches_agree_with_engine(self):
+        rows = [(i % 7, (i * 3) % 5) for i in range(40)]
+        stream = SkylineStream(MIN2)
+        for start in range(0, len(rows), 8):
+            stream.process_batch(rows[start:start + 8])
+        assert sorted(stream.current()) == \
+            sorted(self._engine_skyline(rows))
+
+
 class TestOneShotHelper:
     def test_skyline_of_stream(self):
         rows = [(2, 2), (1, 1), (1, 3)]
