@@ -253,7 +253,11 @@ class DataFrame:
 
         Skyline queries include a ``== Skyline Strategy ==`` section:
         the chosen algorithm, partitioning scheme and partition count,
-        with the statistics that drove each choice.
+        with the statistics that drove each choice.  Data-plane
+        operators (scans, filters, projections, skylines) are tagged
+        with their execution mode -- ``[batch]`` when they exchange
+        :class:`~repro.engine.batch.ColumnBatch`es on the columnar
+        data plane, ``[row]`` otherwise.
 
         >>> from repro import SkylineSession, smin
         >>> session = SkylineSession(adaptive=True)

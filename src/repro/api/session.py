@@ -8,6 +8,7 @@ main tuning knob) and the query pipeline (parser -> analyzer -> optimizer
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
@@ -46,6 +47,18 @@ def _validate_vectorized(vectorized: "bool | str") -> None:
             "vectorized=True requires NumPy (install the "
             "'repro-skyline[numpy]' extra); use vectorized='auto' "
             "to fall back to the pure-Python kernels")
+
+
+def _validate_columnar(columnar: "bool | str") -> None:
+    """Reject invalid ``columnar`` flags.
+
+    Unlike ``vectorized=True``, ``columnar=True`` is valid without
+    NumPy: the batch plane falls back to scalar-list columns and
+    per-row expression evaluation, producing identical results.
+    """
+    if not (columnar is True or columnar is False or columnar == "auto"):
+        raise ValueError(
+            f"columnar must be True, False or 'auto', got {columnar!r}")
 
 
 @dataclass
@@ -136,6 +149,21 @@ class SkylineSession:
         cannot be columnized (non-numeric dimensions, integers beyond
         the float64-exact range) falls back to the scalar kernels
         transparently.
+    columnar:
+        The batch data plane: with ``"auto"`` (the default, on when
+        NumPy is importable) or ``True``, scans columnize each
+        partition once into a
+        :class:`~repro.engine.batch.ColumnBatch` and filters,
+        projections and the skyline operators exchange batches,
+        evaluating expressions column-wise
+        (:meth:`~repro.engine.expressions.Expression.eval_batch`);
+        ``False`` keeps the row-at-a-time reference plane.  Results
+        are identical either way: expressions without an exact
+        vectorized form fall back to per-row evaluation inside the
+        batch, and ``columnar=True`` works without NumPy via
+        scalar-list columns.  ``EXPLAIN`` reports each operator's mode
+        (``[batch]``/``[row]``).  Set ``REPRO_DISABLE_COLUMNAR=1`` to
+        make ``"auto"`` resolve to off (CI's forced-row leg).
     """
 
     def __init__(self, num_executors: int = 2,
@@ -147,7 +175,8 @@ class SkylineSession:
                  adaptive: bool = False,
                  skyline_partitioning: str = "keep",
                  skyline_partitions: int | None = None,
-                 vectorized: "bool | str" = "auto") -> None:
+                 vectorized: "bool | str" = "auto",
+                 columnar: "bool | str" = "auto") -> None:
         if adaptive:
             if skyline_algorithm not in ("auto", "adaptive"):
                 raise ValueError(
@@ -163,9 +192,11 @@ class SkylineSession:
                 f"unknown skyline_partitioning {skyline_partitioning!r}; "
                 f"expected one of {PARTITIONING_SCHEMES}")
         _validate_vectorized(vectorized)
+        _validate_columnar(columnar)
         base = cluster_config or ClusterConfig()
         self.cluster_config = replace(base, num_executors=num_executors)
         self.vectorized = vectorized
+        self.columnar = columnar
         self.skyline_algorithm = skyline_algorithm
         self.skyline_partitioning = skyline_partitioning
         self.skyline_partitions = skyline_partitions
@@ -193,6 +224,20 @@ class SkylineSession:
         if self.vectorized == "auto":
             return numpy_available()
         return bool(self.vectorized)
+
+    @property
+    def columnar_enabled(self) -> bool:
+        """True when query plans execute on the batch data plane.
+
+        >>> from repro import SkylineSession
+        >>> SkylineSession(columnar=False).columnar_enabled
+        False
+        """
+        if self.columnar == "auto":
+            if os.environ.get("REPRO_DISABLE_COLUMNAR"):
+                return False
+            return numpy_available()
+        return bool(self.columnar)
 
     # -- configuration ------------------------------------------------------
 
@@ -224,7 +269,8 @@ class SkylineSession:
             cluster_config=self.cluster_config,
             skyline_partitioning=self.skyline_partitioning,
             skyline_partitions=self.skyline_partitions,
-            vectorized=self.vectorized)
+            vectorized=self.vectorized,
+            columnar=self.columnar)
         clone.catalog = self.catalog
         clone._time_budget_s = self._time_budget_s
         clone._backend_spec = self._backend_spec
@@ -251,6 +297,14 @@ class SkylineSession:
         _validate_vectorized(vectorized)
         clone = self.with_executors(self.cluster_config.num_executors)
         clone.vectorized = vectorized
+        return clone
+
+    def with_columnar(self, columnar: "bool | str") -> "SkylineSession":
+        """A session sharing this catalog but with a different data
+        plane (``True`` / ``False`` / ``"auto"``)."""
+        _validate_columnar(columnar)
+        clone = self.with_executors(self.cluster_config.num_executors)
+        clone.columnar = columnar
         return clone
 
     def with_skyline_partitioning(self, scheme: str,
@@ -394,7 +448,8 @@ class SkylineSession:
             max_workers=max_workers,
             partitioning=self.skyline_partitioning,
             num_partitions=self.skyline_partitions,
-            vectorized=self.vectorized_enabled)
+            vectorized=self.vectorized_enabled,
+            columnar=self.columnar_enabled)
 
     _ANALYZE_SCHEMA = Schema([
         Field("table_name", STRING, False),

@@ -167,11 +167,16 @@ def _prepared_session(workload, num_executors: int,
     # columnar kernels collapse the local phase far below the simulated
     # cluster's startup overheads at these sizes; their speedup is
     # measured by the dedicated ``repro.bench --vectorized`` ablation.
+    # The batch data plane is pinned off alongside the kernels: its
+    # near-free filters/projections would likewise distort the
+    # per-stage time distribution the figures are calibrated against
+    # (its speedup has the dedicated ``repro.bench --columnar``
+    # ablation).
     session = SkylineSession(
         num_executors=num_executors,
         cluster_config=ClusterConfig(memory_scale=MEMORY_SCALE),
         backend=backend, num_workers=num_workers,
-        vectorized=False)
+        vectorized=False, columnar=False)
     workload.register(session)
     return session
 

@@ -168,6 +168,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--min-vec-speedup", type=float, default=None,
                         help="fail unless the best local-phase vectorized "
                              "speedup reaches this factor")
+    parser.add_argument("--columnar", action="store_true",
+                        help="measure the batch data plane against the "
+                             "row plane on full filter+projection+skyline "
+                             "queries and emit BENCH_columnar.json")
+    parser.add_argument("--min-col-speedup", type=float, default=None,
+                        help="fail unless the best end-to-end columnar "
+                             "speedup reaches this factor")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="size multiplier for the adaptive mix")
     parser.add_argument("--rows", type=int, default=None,
@@ -181,9 +188,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "this factor (use on multi-core CI runners)")
     args = parser.parse_args(argv)
     if not (args.smoke or args.speedup or args.adaptive
-            or args.vectorized):
+            or args.vectorized or args.columnar):
         parser.error("nothing to do: pass --smoke, --speedup, "
-                     "--adaptive and/or --vectorized")
+                     "--adaptive, --vectorized and/or --columnar")
 
     status = 0
     if args.smoke:
@@ -230,5 +237,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                 report["best_local_speedup"] < args.min_vec_speedup:
             print(f"FAIL: best local-phase speedup below required "
                   f"{args.min_vec_speedup:.2f}x", file=sys.stderr)
+            status = 1
+    if args.columnar:
+        from .columnar import (measure_columnar_speedup,
+                               render_columnar_report)
+        report = measure_columnar_speedup(num_rows=args.rows or 60_000)
+        with open("BENCH_columnar.json", "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(render_columnar_report(report))
+        if args.min_col_speedup is not None and \
+                report["best_speedup"] < args.min_col_speedup:
+            print(f"FAIL: best end-to-end columnar speedup below "
+                  f"required {args.min_col_speedup:.2f}x",
+                  file=sys.stderr)
             status = 1
     return status

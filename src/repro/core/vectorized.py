@@ -45,31 +45,21 @@ with NumPy installed (used by CI to keep the fallback path honest).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+# The engine's batch module owns the single columnization point (the
+# pinned float64 + NaN + null-mask encoding), the float64-exact bound
+# (MAX_EXACT_INT) and the NumPy handle, including the
+# REPRO_DISABLE_NUMPY escape hatch; HAVE_NUMPY is re-exported here for
+# backwards compatibility.
+from ..engine.batch import (HAVE_NUMPY, ColumnBatch,
+                            encode_numeric_column, np)
 from .bnl import bnl_skyline
 from .dominance import (BoundDimension, DimensionKind, DominanceStats,
                         dominates_incomplete)
 from .incomplete import flagged_global_skyline
 from .sfs import sfs_skyline
-
-try:  # pragma: no cover - exercised via the no-numpy CI leg
-    if os.environ.get("REPRO_DISABLE_NUMPY"):
-        np = None
-    else:
-        import numpy as np
-except ImportError:  # pragma: no cover
-    np = None
-
-#: True when the vectorized kernels can run at all.
-HAVE_NUMPY = np is not None
-
-#: Largest integer magnitude exactly representable as float64; larger
-#: ints could change comparison outcomes under conversion, so they
-#: force the scalar fallback.
-MAX_EXACT_INT = 2 ** 53
 
 #: Rows folded into the window per kernel step.  Empirically the sweet
 #: spot across the generator distributions: larger blocks amortize the
@@ -149,11 +139,23 @@ class ColumnBlock:
         return bool((self.null_mask == self.null_mask[0]).all())
 
 
+def _empty_block(num_value_dims: int, has_diff: bool) -> ColumnBlock:
+    return ColumnBlock(np.zeros((0, num_value_dims)),
+                       np.zeros((0, num_value_dims), dtype=bool),
+                       [] if has_diff else None)
+
+
 def columnize(rows: Sequence[Sequence],
               dims: Sequence[BoundDimension]) -> ColumnBlock | None:
     """Convert rows to a :class:`ColumnBlock`, or ``None`` when the data
     cannot be vectorized faithfully (non-numeric values, ints beyond the
-    float64-exact range, or NumPy missing)."""
+    float64-exact range, or NumPy missing).
+
+    The per-column encoding is the engine-wide single columnization
+    point, :func:`repro.engine.batch.encode_numeric_column`; this
+    function adds the skyline specifics (MAX negation so smaller is
+    uniformly better, DIFF keys kept as raw tuples).
+    """
     if np is None:
         return None
     rows = rows if isinstance(rows, list) else list(rows)
@@ -161,35 +163,57 @@ def columnize(rows: Sequence[Sequence],
     diff_dims = [d for d in dims if d.kind is DimensionKind.DIFF]
     n = len(rows)
     if n == 0:
-        return ColumnBlock(np.zeros((0, len(value_dims))),
-                           np.zeros((0, len(value_dims)), dtype=bool),
-                           [] if diff_dims else None)
+        return _empty_block(len(value_dims), bool(diff_dims))
     columns = list(zip(*rows))
     values = np.empty((n, len(value_dims)), dtype=np.float64)
     null_mask = np.zeros((n, len(value_dims)), dtype=bool)
     for j, dim in enumerate(value_dims):
-        column = columns[dim.index]
-        kinds = set(map(type, column))
-        has_null = type(None) in kinds
-        if not kinds <= {int, float, bool, type(None)}:
+        encoded = encode_numeric_column(columns[dim.index])
+        if encoded is None:
             return None
-        if int in kinds and any(
-                type(v) is int and (v > MAX_EXACT_INT or
-                                    v < -MAX_EXACT_INT)
-                for v in column):
-            return None
-        if has_null:
-            null_mask[:, j] = [v is None for v in column]
-            values[:, j] = [np.nan if v is None else float(v)
-                            for v in column]
-        else:
-            values[:, j] = np.asarray(column, dtype=np.float64)
+        values[:, j], null_mask[:, j] = encoded
         if dim.kind is DimensionKind.MAX:
             values[:, j] = -values[:, j]
     diff_keys = None
     if diff_dims:
         diff_keys = [tuple(row[d.index] for d in diff_dims)
                      for row in rows]
+    return ColumnBlock(values, null_mask, diff_keys)
+
+
+def columnize_batch(batch: ColumnBatch,
+                    dims: Sequence[BoundDimension]) -> ColumnBlock | None:
+    """Build a :class:`ColumnBlock` straight from an engine
+    :class:`~repro.engine.batch.ColumnBatch` -- no per-row work.
+
+    The batch data plane already stores numeric columns as typed
+    arrays, so the skyline kernels can assemble their oriented value
+    matrix with array casts instead of re-columnizing the partition's
+    rows.  Columns the batch kept as Python lists go through the shared
+    row encoder; a column that cannot encode faithfully returns
+    ``None`` (scalar fallback), exactly like :func:`columnize`.
+    """
+    if np is None:
+        return None
+    value_dims = [d for d in dims if d.kind is not DimensionKind.DIFF]
+    diff_dims = [d for d in dims if d.kind is DimensionKind.DIFF]
+    n = batch.num_rows
+    if n == 0:
+        return _empty_block(len(value_dims), bool(diff_dims))
+    values = np.empty((n, len(value_dims)), dtype=np.float64)
+    null_mask = np.zeros((n, len(value_dims)), dtype=bool)
+    for j, dim in enumerate(value_dims):
+        encoded = batch.column(dim.index).as_f8()
+        if encoded is None:
+            return None
+        values[:, j], null_mask[:, j] = encoded
+        if dim.kind is DimensionKind.MAX:
+            values[:, j] = -values[:, j]
+    diff_keys = None
+    if diff_dims:
+        diff_columns = [batch.column(d.index).to_values()
+                        for d in diff_dims]
+        diff_keys = list(zip(*diff_columns))
     return ColumnBlock(values, null_mask, diff_keys)
 
 
@@ -501,6 +525,22 @@ def vec_sfs_skyline(rows: Sequence[Sequence],
         # scalar BNL (same rows, same input-order output).
         return vec_bnl_skyline(rows, dims, distinct=distinct,
                                stats=stats, check_deadline=check_deadline)
+    indices = _sfs_indices(block, all_scores, rows, dims, distinct,
+                           stats, check_deadline)
+    return [rows[i] for i in indices]
+
+
+def _sfs_indices(block: ColumnBlock, all_scores: "np.ndarray",
+                 rows: Sequence[Sequence],
+                 dims: Sequence[BoundDimension], distinct: bool,
+                 stats: DominanceStats | None,
+                 check_deadline: Callable[[], None] | None) -> list[int]:
+    """The SFS index selection shared by the row and batch kernels.
+
+    ``rows`` is only consulted for DISTINCT dedup (raw dimension
+    values); callers guarantee finite scores and a NaN/null-free block.
+    Returns indices in global score order.
+    """
     indices: list[int] = []
     for group in block.diff_groups():
         values = block.values[group]
@@ -534,10 +574,11 @@ def vec_sfs_skyline(rows: Sequence[Sequence],
     # skyline-dimension values imply an equal DIFF key.  Scalar SFS
     # emits the *global* score order (stable: ties in input order), so
     # re-rank the per-group survivors the same way.
-    rank = np.empty(len(rows), dtype=np.intp)
-    rank[np.argsort(all_scores, kind="stable")] = np.arange(len(rows))
+    rank = np.empty(len(all_scores), dtype=np.intp)
+    rank[np.argsort(all_scores, kind="stable")] = np.arange(
+        len(all_scores))
     indices.sort(key=lambda i: rank[i])
-    return [rows[i] for i in indices]
+    return indices
 
 
 def vec_flagged_global_skyline(rows: Sequence[Sequence],
@@ -631,15 +672,171 @@ def vec_global_flagged_task(rows: Sequence[Sequence],
     return skyline_rows, stats.window_peak, stats.comparisons
 
 
+# ---------------------------------------------------------------------------
+# Batch-consuming task kernels (the columnar data plane)
+# ---------------------------------------------------------------------------
+#
+# Same contract as the row task kernels -- picklable top-level
+# functions returning ``(result, window_peak, comparisons)`` -- but the
+# partition arrives as a :class:`~repro.engine.batch.ColumnBatch` and
+# the result is returned as one: the oriented value matrix is assembled
+# from the batch's typed columns (no per-row columnization) and the
+# surviving rows are selected by index, so the batch plane never
+# materialises rows unless a guard forces the scalar fallback.
+
+
+def _grouped_indices(block: ColumnBlock, select: Callable,
+                     stats: DominanceStats | None,
+                     check_deadline: Callable[[], None] | None
+                     ) -> list[int]:
+    """Per-DIFF-group index selection, merged in ascending order."""
+    indices: list[int] = []
+    for group in block.diff_groups():
+        chosen = select(block.values[group], stats, check_deadline)
+        indices.extend(group[chosen].tolist())
+    indices.sort()
+    return indices
+
+
+def _batch_fallback(batch: ColumnBatch, kernel: Callable,
+                    **kwargs) -> ColumnBatch:
+    """Run a row kernel on the batch's row view and re-batch."""
+    result = kernel(batch.to_rows(), **kwargs)
+    return ColumnBatch.from_rows(result, batch.num_columns)
+
+
+def vec_local_bnl_batch_task(batch: ColumnBatch,
+                             dims: Sequence[BoundDimension],
+                             distinct: bool = False,
+                             check_deadline: Callable[[], None] | None
+                             = None) -> tuple[ColumnBatch, int, int]:
+    """Block-BNL skyline of one batch partition (complete data)."""
+    stats = DominanceStats()
+    block = columnize_batch(batch, dims)
+    if block is None or bool(block.null_mask.any()) or \
+            block.has_nan_data or block.diff_keys_have_nan():
+        # Same guards as :func:`vec_bnl_skyline`: nulls and NaN data
+        # defer to the scalar window semantics.
+        result = _batch_fallback(
+            batch, bnl_skyline, dims=dims, distinct=distinct,
+            stats=stats, check_deadline=check_deadline)
+        return result, stats.window_peak, stats.comparisons
+    indices = _grouped_indices(block, _block_skyline_indices, stats,
+                               check_deadline)
+    if distinct:
+        indices = _distinct_indices(indices, batch.to_rows(), dims)
+    return batch.take(indices), stats.window_peak, stats.comparisons
+
+
+def vec_local_bnl_incomplete_batch_task(
+        batch: ColumnBatch, dims: Sequence[BoundDimension],
+        check_deadline: Callable[[], None] | None = None
+        ) -> tuple[ColumnBatch, int, int]:
+    """Skyline of one *null-bitmap-partitioned* batch (Section 5.7).
+
+    Same guards as :func:`vec_bnl_skyline_incomplete`: heterogeneous
+    null patterns, NaN data and null/NaN DIFF keys defer to the scalar
+    null-restricted kernel on the row view.
+    """
+    stats = DominanceStats()
+    block = columnize_batch(batch, dims)
+    if block is None or not block.uniform_null_pattern() or \
+            block.has_nan_data or block.diff_keys_have_null() or \
+            block.diff_keys_have_nan():
+        result = _batch_fallback(
+            batch, bnl_skyline, dims=dims, distinct=False, stats=stats,
+            dominance=dominates_incomplete, check_deadline=check_deadline)
+        return result, stats.window_peak, stats.comparisons
+    indices = _grouped_indices(block, _block_skyline_indices, stats,
+                               check_deadline)
+    return batch.take(indices), stats.window_peak, stats.comparisons
+
+
+def batch_null_bitmaps(batch: ColumnBatch,
+                       dims: Sequence[BoundDimension]) -> list[int]:
+    """Per-row null bitmaps over the skyline dimensions, columnar.
+
+    Matches :func:`repro.core.dominance.null_bitmap` bit for bit: bit
+    ``i`` set iff the row is null in the *i*-th dimension of ``dims``.
+    Computed from the batch's null masks in one vectorized pass.
+    """
+    acc = np.zeros(batch.num_rows, dtype=np.int64)
+    for i, dim in enumerate(dims):
+        flags = batch.column(dim.index).null_flags()
+        if isinstance(flags, list):
+            flags = np.asarray(flags, dtype=bool)
+        acc |= flags.astype(np.int64) << i
+    return acc.tolist()
+
+
+def vec_local_sfs_batch_task(batch: ColumnBatch,
+                             dims: Sequence[BoundDimension],
+                             distinct: bool = False,
+                             check_deadline: Callable[[], None] | None
+                             = None) -> tuple[ColumnBatch, int, int]:
+    """Sort-Filter-Skyline of one batch partition."""
+    stats = DominanceStats()
+    block = columnize_batch(batch, dims)
+    if block is None or bool(block.null_mask.any()) or \
+            block.has_nan_data or block.diff_keys_have_nan():
+        result = _batch_fallback(
+            batch, sfs_skyline, dims=dims, distinct=distinct,
+            stats=stats, check_deadline=check_deadline)
+        return result, stats.window_peak, stats.comparisons
+    all_scores = _monotone_scores(block.values)
+    if not np.isfinite(all_scores).all():
+        # Pinned SFS behaviour: non-finite scores make presorting
+        # unsound, the whole input computes with BNL instead.
+        indices = _grouped_indices(block, _block_skyline_indices, stats,
+                                   check_deadline)
+        if distinct:
+            indices = _distinct_indices(indices, batch.to_rows(), dims)
+        return batch.take(indices), stats.window_peak, stats.comparisons
+    indices = _sfs_indices(block, all_scores, batch.to_rows() if distinct
+                           else (), dims, distinct, stats, check_deadline)
+    return batch.take(indices), stats.window_peak, stats.comparisons
+
+
+def vec_global_flagged_batch_task(batch: ColumnBatch,
+                                  dims: Sequence[BoundDimension],
+                                  distinct: bool = False,
+                                  check_deadline: Callable[[], None] | None
+                                  = None) -> tuple[ColumnBatch, int, int]:
+    """Flag-based all-pairs global skyline of one batch."""
+    stats = DominanceStats()
+    block = columnize_batch(batch, dims)
+    if block is None or block.diff_keys_have_null() or \
+            block.diff_keys_have_nan():
+        result = _batch_fallback(
+            batch, flagged_global_skyline, dims=dims, distinct=distinct,
+            stats=stats, check_deadline=check_deadline)
+        return result, stats.window_peak, stats.comparisons
+    indices = _grouped_indices(block, _flagged_indices, stats,
+                               check_deadline)
+    if distinct:
+        indices = _distinct_indices(indices, batch.to_rows(), dims)
+    return batch.take(indices), stats.window_peak, stats.comparisons
+
+
 @dataclass(frozen=True)
 class KernelSet:
-    """The partition-task kernels one physical plan executes with."""
+    """The partition-task kernels one physical plan executes with.
+
+    The ``*_batch`` kernels consume and produce
+    :class:`~repro.engine.batch.ColumnBatch`es for the columnar data
+    plane; they exist only in the vectorized set (``None`` in the
+    scalar set, whose operators exchange rows).
+    """
 
     name: str
     local_bnl: Callable
     local_bnl_incomplete: Callable
     local_sfs: Callable
     global_flagged: Callable
+    local_bnl_batch: Callable | None = None
+    local_bnl_incomplete_batch: Callable | None = None
+    local_sfs_batch: Callable | None = None
+    global_flagged_batch: Callable | None = None
 
 
 def select_kernels(vectorized: bool) -> KernelSet:
@@ -654,9 +851,14 @@ def select_kernels(vectorized: bool) -> KernelSet:
                              local_sfs_task)
 
     if vectorized and numpy_available():
-        return KernelSet("vectorized", vec_local_bnl_task,
-                         vec_local_bnl_incomplete_task,
-                         vec_local_sfs_task, vec_global_flagged_task)
+        return KernelSet(
+            "vectorized", vec_local_bnl_task,
+            vec_local_bnl_incomplete_task,
+            vec_local_sfs_task, vec_global_flagged_task,
+            local_bnl_batch=vec_local_bnl_batch_task,
+            local_bnl_incomplete_batch=vec_local_bnl_incomplete_batch_task,
+            local_sfs_batch=vec_local_sfs_batch_task,
+            global_flagged_batch=vec_global_flagged_batch_task)
     return KernelSet("scalar", local_bnl_task, local_bnl_incomplete_task,
                      local_sfs_task, global_flagged_task)
 

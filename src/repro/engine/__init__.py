@@ -2,9 +2,10 @@
 
 from .backends import (BACKEND_NAMES, Backend, LocalBackend, ProcessBackend,
                        StageTask, ThreadBackend, create_backend)
+from .batch import Column, ColumnBatch, encode_numeric_column
 from .catalog import Catalog, ForeignKey, Table
 from .cluster import ClusterConfig, ExecutionContext
-from .rdd import RDD
+from .rdd import RDD, BatchRDD, stable_hash
 from .row import Field, Row, Schema, infer_schema
 from .types import (BOOLEAN, DOUBLE, INTEGER, STRING, BooleanType, DataType,
                     DoubleType, IntegerType, StringType, common_type,
@@ -14,9 +15,12 @@ __all__ = [
     "BACKEND_NAMES",
     "BOOLEAN",
     "Backend",
+    "BatchRDD",
     "BooleanType",
     "Catalog",
     "ClusterConfig",
+    "Column",
+    "ColumnBatch",
     "LocalBackend",
     "ProcessBackend",
     "StageTask",
@@ -37,8 +41,10 @@ __all__ = [
     "StringType",
     "Table",
     "common_type",
+    "encode_numeric_column",
     "infer_schema",
     "infer_type",
     "is_numeric",
     "is_orderable",
+    "stable_hash",
 ]

@@ -55,6 +55,12 @@ class StageTask:
     ``fn`` still run under every backend (the process backend executes
     them inline).
 
+    A task's partition payload and result are either a row-tuple list
+    or a :class:`~repro.engine.batch.ColumnBatch` (the batch data
+    plane); both pickle, so batch-plane skyline stages fan out to
+    process workers exactly like row stages, and the recorded
+    ``rows_in``/``rows_out`` metrics count batch rows transparently.
+
     ``kernel`` labels which kernel family executes the task (``scalar``
     or ``vectorized``); it is carried into the recorded
     :class:`~repro.engine.cluster.TaskMetrics` so benchmarks and the

@@ -21,6 +21,8 @@ from typing import Any, Callable, Iterator, Sequence
 
 from ..core.dominance import DimensionKind
 from ..errors import AnalysisError
+from .batch import (B1, F8, I8, Column, ColumnBatch,
+                    int64_fits_float_exact, np)
 from .types import (BOOLEAN, DOUBLE, INTEGER, STRING, DataType, common_type,
                     infer_type, is_numeric, is_orderable)
 
@@ -57,6 +59,22 @@ class Expression:
     def eval(self, row: tuple) -> Any:
         """Evaluate against a row tuple; only valid once bound."""
         raise AnalysisError(f"cannot evaluate unbound expression {self!r}")
+
+    def eval_batch(self, batch: "ColumnBatch") -> "Column":
+        """Evaluate against a :class:`~repro.engine.batch.ColumnBatch`,
+        returning one column with the same number of rows.
+
+        This default implementation is the **automatic per-row
+        fallback**: it evaluates :meth:`eval` on the batch's row view
+        and re-encodes the results, so every expression works under the
+        batch data plane even without a columnar form.  Subclasses with
+        a faithful vectorized implementation override it (and fall back
+        here whenever their operand columns cannot be evaluated exactly
+        in typed arrays).
+        """
+        evaluate = self.eval
+        return Column.from_values(
+            [evaluate(row) for row in batch.to_rows()])
 
     # -- tree plumbing ---------------------------------------------------
 
@@ -209,6 +227,11 @@ class Literal(LeafExpression):
 
     def eval(self, row: tuple) -> Any:
         return self.value
+
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        if self.value is None:
+            return Column.nulls(batch.num_rows)
+        return Column.constant(self.value, batch.num_rows)
 
     def sql(self) -> str:
         if isinstance(self.value, str):
@@ -396,6 +419,9 @@ class BoundReference(LeafExpression):
     def eval(self, row: tuple) -> Any:
         return row[self.index]
 
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        return batch.column(self.index)
+
     def __repr__(self) -> str:
         return f"input[{self.index}]"
 
@@ -444,6 +470,9 @@ class Alias(Expression):
     def eval(self, row: tuple) -> Any:
         return self.child.eval(row)
 
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        return self.child.eval_batch(batch)
+
     def sql(self) -> str:
         return f"{self.child.sql()} AS {self.name}"
 
@@ -481,6 +510,12 @@ class IsNull(Expression):
     def eval(self, row: tuple) -> Any:
         return self.children[0].eval(row) is None
 
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        flags = self.children[0].eval_batch(batch).null_flags()
+        if isinstance(flags, list):
+            return Column.from_values(flags)
+        return Column(B1, flags)
+
     def sql(self) -> str:
         return f"{self.children[0].sql()} IS NULL"
 
@@ -499,6 +534,12 @@ class IsNotNull(Expression):
 
     def eval(self, row: tuple) -> Any:
         return self.children[0].eval(row) is not None
+
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        flags = self.children[0].eval_batch(batch).null_flags()
+        if isinstance(flags, list):
+            return Column.from_values([not f for f in flags])
+        return Column(B1, ~flags)
 
     def sql(self) -> str:
         return f"{self.children[0].sql()} IS NOT NULL"
@@ -522,6 +563,14 @@ class Not(Expression):
             return None
         return not value
 
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        column = self.children[0].eval_batch(batch)
+        if column.kind != B1:
+            return Column.from_values([
+                None if v is None else (not v)
+                for v in column.to_values()])
+        return Column(B1, ~column.data, column.mask)
+
     def sql(self) -> str:
         return f"NOT ({self.children[0].sql()})"
 
@@ -539,6 +588,14 @@ class Negate(Expression):
     def eval(self, row: tuple) -> Any:
         value = self.children[0].eval(row)
         return None if value is None else -value
+
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        column = self.children[0].eval_batch(batch)
+        if column.kind == F8 or (column.kind == I8
+                                 and _no_int64_min(column.data)):
+            return Column(column.kind, -column.data, column.mask)
+        return Column.from_values([
+            None if v is None else -v for v in column.to_values()])
 
     def sql(self) -> str:
         return f"-({self.children[0].sql()})"
@@ -576,6 +633,10 @@ class IfNull(Expression):
             return self.children[1].eval(row)
         return value
 
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        return _coalesce_batch(
+            [c.eval_batch(batch) for c in self.children])
+
     def sql(self) -> str:
         return f"ifnull({self.children[0].sql()}, {self.children[1].sql()})"
 
@@ -611,6 +672,10 @@ class Coalesce(Expression):
                 return value
         return None
 
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        return _coalesce_batch(
+            [c.eval_batch(batch) for c in self.children])
+
     def sql(self) -> str:
         inner = ", ".join(c.sql() for c in self.children)
         return f"coalesce({inner})"
@@ -627,6 +692,14 @@ class Abs(Expression):
     def eval(self, row: tuple) -> Any:
         value = self.children[0].eval(row)
         return None if value is None else abs(value)
+
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        column = self.children[0].eval_batch(batch)
+        if column.kind == F8 or (column.kind == I8
+                                 and _no_int64_min(column.data)):
+            return Column(column.kind, np.abs(column.data), column.mask)
+        return Column.from_values([
+            None if v is None else abs(v) for v in column.to_values()])
 
     def sql(self) -> str:
         return f"abs({self.children[0].sql()})"
@@ -689,6 +762,14 @@ class ArithmeticExpression(BinaryExpression):
         if rhs is None:
             return None
         return type(self).op(lhs, rhs)
+
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        left = self.left.eval_batch(batch)
+        right = self.right.eval_batch(batch)
+        column = _arith_batch(self, left, right)
+        if column is None:
+            column = _rowwise_binary(self, left, right)
+        return column
 
 
 class Add(ArithmeticExpression):
@@ -757,6 +838,14 @@ class ComparisonExpression(BinaryExpression):
             return None
         return type(self).op(lhs, rhs)
 
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        left = self.left.eval_batch(batch)
+        right = self.right.eval_batch(batch)
+        column = _compare_batch(self, left, right)
+        if column is None:
+            column = _rowwise_binary(self, left, right)
+        return column
+
 
 class EqualTo(ComparisonExpression):
     symbol = "="
@@ -810,6 +899,24 @@ class EqualNullSafe(BinaryExpression):
             return False
         return lhs == rhs
 
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        left = self.left.eval_batch(batch)
+        right = self.right.eval_batch(batch)
+        aligned = _aligned_numeric(left, right)
+        if aligned is None:
+            out = []
+            for a, b in zip(left.to_values(), right.to_values()):
+                if a is None or b is None:
+                    out.append(a is None and b is None)
+                else:
+                    out.append(a == b)
+            return Column.from_values(out)
+        _, a, b = aligned
+        lnull = _mask_of(left)
+        rnull = _mask_of(right)
+        data = np.where(lnull | rnull, lnull & rnull, np.equal(a, b))
+        return Column(B1, data)
+
 
 class And(BinaryExpression):
     """Kleene AND: false wins over null."""
@@ -831,6 +938,26 @@ class And(BinaryExpression):
             return None
         return True
 
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        left = self.left.eval_batch(batch)
+        right = self.right.eval_batch(batch)
+        if left.kind != B1 or right.kind != B1:
+            out = []
+            for a, b in zip(left.to_values(), right.to_values()):
+                if a is False or b is False:
+                    out.append(False)
+                elif a is None or b is None:
+                    out.append(None)
+                else:
+                    out.append(True)
+            return Column.from_values(out)
+        lnull = _mask_of(left)
+        rnull = _mask_of(right)
+        known_false = (~lnull & ~left.data) | (~rnull & ~right.data)
+        null = (lnull | rnull) & ~known_false
+        data = ~known_false & ~null
+        return Column(B1, data, null if null.any() else None)
+
 
 class Or(BinaryExpression):
     """Kleene OR: true wins over null."""
@@ -851,6 +978,25 @@ class Or(BinaryExpression):
         if lhs is None or rhs is None:
             return None
         return False
+
+    def eval_batch(self, batch: ColumnBatch) -> Column:
+        left = self.left.eval_batch(batch)
+        right = self.right.eval_batch(batch)
+        if left.kind != B1 or right.kind != B1:
+            out = []
+            for a, b in zip(left.to_values(), right.to_values()):
+                if a is True or b is True:
+                    out.append(True)
+                elif a is None or b is None:
+                    out.append(None)
+                else:
+                    out.append(False)
+            return Column.from_values(out)
+        lnull = _mask_of(left)
+        rnull = _mask_of(right)
+        known_true = (~lnull & left.data) | (~rnull & right.data)
+        null = (lnull | rnull) & ~known_true
+        return Column(B1, known_true, null if null.any() else None)
 
 
 def conjunction(predicates: Sequence[Expression]) -> Expression:
@@ -1273,8 +1419,208 @@ class SkylineDimension(Expression):
 
 
 # ---------------------------------------------------------------------------
-# Binding
+# Batch (columnar) evaluation helpers
 # ---------------------------------------------------------------------------
+#
+# The vectorized expression forms only run when they are *provably
+# exact* against the row-at-a-time reference semantics; anything else
+# returns None and the caller takes the automatic per-row fallback of
+# ``Expression.eval_batch``.  The exactness rules:
+#
+# * int64 x int64 stays in int64 (comparisons are always exact; +/-/*
+#   only below conservative overflow bounds);
+# * an int64 column mixes with float64 only while every value is within
+#   the float64-exact range (|v| <= 2**53);
+# * division by zero and modulo-by-zero yield SQL NULL, matching the
+#   scalar operators;
+# * NaN data inherits IEEE semantics, which match the Python operators.
+
+#: Conservative magnitude bound under which int64 add/subtract cannot
+#: overflow (|a| + |b| < 2**63).
+_INT64_ADD_BOUND = 2 ** 62
+#: The same bound for multiplication (|a| * |b| < 2**62 < 2**63).
+_INT64_MUL_BOUND = 2 ** 31
+_INT64_MIN = -(2 ** 63)
+
+
+def _no_int64_min(data) -> bool:
+    """True when negating/abs-ing ``data`` cannot overflow int64."""
+    return not len(data) or int(data.min()) != _INT64_MIN
+
+
+def _mask_of(column: Column):
+    """The column's null mask as an ndarray (zeros when mask-free)."""
+    if column.mask is not None:
+        return column.mask
+    return np.zeros(len(column.data), dtype=bool)
+
+
+def _exact_f8(column: Column):
+    """The column as float64, or None when the cast would be inexact."""
+    if column.kind == F8:
+        return column.data
+    if not int64_fits_float_exact(column.data):
+        return None
+    return column.data.astype(np.float64)
+
+
+def _aligned_numeric(left: Column, right: Column):
+    """Align two numeric columns for exact vectorized evaluation.
+
+    Returns ``(kind, a, b)`` -- both operands as int64 (``kind == I8``,
+    only when both columns are int) or float64 -- or ``None`` when
+    either column is non-numeric or the int->float cast would lose
+    exactness.
+    """
+    if np is None:
+        return None
+    if left.kind not in (F8, I8) or right.kind not in (F8, I8):
+        return None
+    if left.kind == I8 and right.kind == I8:
+        return I8, left.data, right.data
+    a = _exact_f8(left)
+    b = _exact_f8(right)
+    if a is None or b is None:
+        return None
+    return F8, a, b
+
+
+def _within(data, bound: int) -> bool:
+    """True when every value's magnitude is below ``bound``.
+
+    min/max instead of ``np.abs`` (which overflows at INT64_MIN).
+    """
+    return not len(data) or (
+        int(data.min()) > -bound and int(data.max()) < bound)
+
+
+def _rowwise_binary(expr: "BinaryExpression", left: Column,
+                    right: Column) -> Column:
+    """Per-row fallback over already-evaluated operand columns.
+
+    Null-propagating semantics identical to the scalar ``eval`` of the
+    arithmetic/comparison operators, but without re-evaluating the
+    operand subtrees (their columns are already in hand).
+    """
+    op = type(expr).op
+    out = []
+    for a, b in zip(left.to_values(), right.to_values()):
+        if a is None or b is None:
+            out.append(None)
+        else:
+            out.append(op(a, b))
+    return Column.from_values(out)
+
+
+def _arith_batch(expr: "ArithmeticExpression", left: Column,
+                 right: Column) -> Column | None:
+    """Vectorized arithmetic, or None when exactness is not guaranteed."""
+    aligned = _aligned_numeric(left, right)
+    if aligned is None:
+        return None
+    kind, a, b = aligned
+    mask = None
+    if left.mask is not None or right.mask is not None:
+        mask = _mask_of(left) | _mask_of(right)
+    name = type(expr).__name__
+    if name in ("Add", "Subtract", "Multiply"):
+        if kind == I8:
+            bound = _INT64_MUL_BOUND if name == "Multiply" \
+                else _INT64_ADD_BOUND
+            if not (_within(a, bound) and _within(b, bound)):
+                return None
+        ufunc = {"Add": np.add, "Subtract": np.subtract,
+                 "Multiply": np.multiply}[name]
+        with np.errstate(all="ignore"):
+            return Column(kind, ufunc(a, b), mask)
+    if name == "Divide":
+        if kind == I8:
+            a = _exact_f8(left)
+            b = _exact_f8(right)
+            if a is None or b is None:
+                return None
+        zero = b == 0.0
+        if zero.any():
+            mask = zero if mask is None else (mask | zero)
+        with np.errstate(all="ignore"):
+            return Column(F8, np.true_divide(a, b), mask)
+    if name == "Modulo":
+        # np.mod follows the Python sign convention for ints and
+        # floats alike; guard the single int64 overflow case
+        # (INT64_MIN % -1).
+        if kind == I8 and not _no_int64_min(a):
+            return None
+        zero = b == 0
+        if zero.any():
+            mask = zero if mask is None else (mask | zero)
+            b = np.where(zero, b.dtype.type(1), b)
+        with np.errstate(all="ignore"):
+            return Column(kind, np.mod(a, b), mask)
+    return None
+
+
+_COMPARISON_UFUNCS = {
+    "EqualTo": "equal",
+    "NotEqualTo": "not_equal",
+    "LessThan": "less",
+    "LessThanOrEqual": "less_equal",
+    "GreaterThan": "greater",
+    "GreaterThanOrEqual": "greater_equal",
+}
+
+
+def _compare_batch(expr: "ComparisonExpression", left: Column,
+                   right: Column) -> Column | None:
+    """Vectorized comparison, or None when exactness is not guaranteed."""
+    ufunc_name = _COMPARISON_UFUNCS.get(type(expr).__name__)
+    if ufunc_name is None:
+        return None
+    aligned = _aligned_numeric(left, right)
+    if aligned is None:
+        return None
+    _, a, b = aligned
+    mask = None
+    if left.mask is not None or right.mask is not None:
+        mask = _mask_of(left) | _mask_of(right)
+    return Column(B1, getattr(np, ufunc_name)(a, b), mask)
+
+
+def _rowwise_coalesce(columns: Sequence[Column]) -> Column:
+    """First non-null per row over already-evaluated columns."""
+    value_lists = [c.to_values() for c in columns]
+    out = []
+    for values in zip(*value_lists):
+        result = None
+        for value in values:
+            if value is not None:
+                result = value
+                break
+        out.append(result)
+    return Column.from_values(out)
+
+
+def _coalesce_batch(columns: Sequence[Column]) -> Column:
+    """Coalesce over evaluated argument columns.
+
+    Vectorized when every column shares one array kind; mixed storage
+    kinds take the per-row path because the row semantics return the
+    *original* typed value (an int stays an int even when later
+    arguments are floats), which a promoted array could not preserve.
+    """
+    first = columns[0]
+    if first.is_array and (first.mask is None or not first.mask.any()):
+        return first
+    if not first.is_array or any(c.kind != first.kind for c in columns):
+        return _rowwise_coalesce(columns)
+    data = first.data
+    null = first.mask.copy()
+    for column in columns[1:]:
+        take = null & ~_mask_of(column)
+        data = np.where(take, column.data, data)
+        null &= ~take
+        if not null.any():
+            break
+    return Column(first.kind, data, null if null.any() else None)
 
 
 def bind_expression(expr: Expression,

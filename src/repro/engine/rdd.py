@@ -15,7 +15,45 @@ split, is faithfully preserved.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from .batch import ColumnBatch
+
+
+def _canonical_key(key: Any) -> Any:
+    """Collapse numerically equal keys onto one representative.
+
+    The builtin ``hash()`` guarantees ``hash(x) == hash(y)`` whenever
+    ``x == y`` across int/float/bool; a ``repr``-based encoding must
+    replicate that so equal keys still co-locate: bools become ints,
+    and integral floats (every float ``v`` with ``v.is_integer()``
+    converts to int exactly) become ints -- ``1``, ``1.0`` and ``True``
+    all hash alike, as does ``2.0**60`` with ``2**60``.
+    """
+    if isinstance(key, tuple):
+        return tuple(_canonical_key(k) for k in key)
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, float) and key.is_integer():
+        return int(key)
+    return key
+
+
+def stable_hash(key: Any) -> int:
+    """A process- and run-stable hash for shuffle placement.
+
+    The builtin ``hash()`` is randomised per process for strings
+    (``PYTHONHASHSEED``), so hash-partitioning with it places rows
+    differently across runs and across the driver and pool workers.
+    CRC32 over a canonical ``repr`` encoding is deterministic
+    everywhere: ``repr`` of the supported key types (ints, floats,
+    strings, bools, None, and tuples of them) is itself deterministic
+    across processes and Python versions, and numerically equal keys
+    are canonicalised first so they keep co-locating like they did
+    under ``hash()``.
+    """
+    return zlib.crc32(repr(_canonical_key(key)).encode("utf-8"))
 
 
 class RDD:
@@ -128,8 +166,65 @@ class RDD:
             raise ValueError("num_partitions must be >= 1")
         partitions: list[list[tuple]] = [[] for _ in range(num_partitions)]
         for row in self.iter_rows():
-            partitions[hash(key_fn(row)) % num_partitions].append(row)
+            partitions[stable_hash(key_fn(row)) % num_partitions].append(row)
         return RDD(partitions)
 
     def __repr__(self) -> str:
         return f"RDD(partitions={self.partition_sizes()})"
+
+
+class BatchRDD:
+    """A partitioned collection of :class:`ColumnBatch`es.
+
+    The columnar twin of :class:`RDD`: one batch per partition, used by
+    the batch data plane (Scan -> Filter -> Project -> Skyline) when the
+    session's ``columnar`` flag is on.  Mirrors the RDD inspection API
+    so the execution context's metrics recording works unchanged, and
+    converts losslessly to a row RDD for operators that stay
+    row-oriented (sorts, joins, aggregates, shuffles).
+    """
+
+    __slots__ = ("batches",)
+
+    def __init__(self, batches: Sequence[ColumnBatch]) -> None:
+        self.batches: list[ColumnBatch] = list(batches)
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_row_rdd(cls, rdd: RDD, num_columns: int) -> "BatchRDD":
+        return cls([ColumnBatch.from_rows(p, num_columns)
+                    for p in rdd.partitions])
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.batches)
+
+    def count(self) -> int:
+        return sum(b.num_rows for b in self.batches)
+
+    def partition_sizes(self) -> list[int]:
+        return [b.num_rows for b in self.batches]
+
+    def collect(self) -> list[tuple]:
+        result: list[tuple] = []
+        for batch in self.batches:
+            result.extend(batch.to_rows())
+        return result
+
+    # -- conversion ------------------------------------------------------
+
+    def to_row_rdd(self) -> RDD:
+        """The same partitions as row lists (exact round-trip)."""
+        return RDD([batch.to_rows() for batch in self.batches])
+
+    def concat(self) -> ColumnBatch:
+        """All partitions merged into one batch (``AllTuples``)."""
+        if not self.batches:
+            raise ValueError("cannot concat an empty BatchRDD")
+        return ColumnBatch.concat(self.batches)
+
+    def __repr__(self) -> str:
+        return f"BatchRDD(partitions={self.partition_sizes()})"

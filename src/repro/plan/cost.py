@@ -56,6 +56,23 @@ REPARTITION_BREAK_EVEN_WINDOW = 512
 #: repartition pass stays a full non-parallelizable scan, so it only
 #: pays off on far larger expected windows.
 REPARTITION_BREAK_EVEN_WINDOW_VECTORIZED = 8192
+#: Measured cost of evaluating one filter predicate row on the batch
+#: data plane relative to the row-at-a-time interpreter (columnar
+#: ablation, `python -m repro.bench --columnar`): one vectorized pass
+#: over the column replaces a per-row expression-tree walk.  A
+#: calibration constant surfaced in EXPLAIN's statistics lines -- it
+#: documents the measured plane gap and does not steer plan choice
+#: (the behavioural knob is :data:`COLUMNAR_REPARTITION_PENALTY`).
+COLUMNAR_FILTER_COST_FACTOR = 0.05
+#: The same ratio for projection expressions (slightly higher: each
+#: output column still pays one kernel dispatch per expression node).
+COLUMNAR_PROJECT_COST_FACTOR = 0.10
+#: Extra multiplier on the repartition break-even when the plan runs on
+#: the batch data plane: a grid/angle/random repartition is
+#: row-oriented, so inserting one additionally materialises the
+#: batches and drops the rest of the skyline stage off the batch plane
+#: -- the shuffle must save that much more window work to pay off.
+COLUMNAR_REPARTITION_PENALTY = 2
 #: Selectivity assumed for filter conjuncts the model cannot estimate.
 DEFAULT_SELECTIVITY = 1.0
 #: Row bound for profiling uncached leaves (LocalRelation): catalog
@@ -229,18 +246,26 @@ class CostModel:
 
     def __init__(self, catalog=None, num_executors: int = 2,
                  max_workers: int | None = None,
-                 vectorized: bool = False) -> None:
+                 vectorized: bool = False,
+                 columnar: bool = False) -> None:
         self.catalog = catalog
         self.num_executors = num_executors
         self.max_workers = max_workers
         #: Vectorized kernels shift the BNL-vs-SFS crossover: block-BNL
         #: absorbs dense windows far more cheaply than scalar BNL.
         self.vectorized = vectorized
+        #: The batch data plane makes the non-skyline pipeline cheap
+        #: (:data:`COLUMNAR_FILTER_COST_FACTOR` /
+        #: :data:`COLUMNAR_PROJECT_COST_FACTOR`) and makes row-oriented
+        #: repartition shuffles comparatively more expensive.
+        self.columnar = columnar
         self.dense_fraction = DENSE_SKYLINE_FRACTION_VECTORIZED \
             if vectorized else DENSE_SKYLINE_FRACTION
         self.repartition_break_even = \
             REPARTITION_BREAK_EVEN_WINDOW_VECTORIZED if vectorized \
             else REPARTITION_BREAK_EVEN_WINDOW
+        if columnar and vectorized:
+            self.repartition_break_even *= COLUMNAR_REPARTITION_PENALTY
 
     # -- statistics plumbing ----------------------------------------------
 
@@ -364,6 +389,11 @@ class CostModel:
                     f"sampled skyline density = {density:.2f}",)
             if estimated is not None:
                 stats_lines += (f"estimated input rows = {estimated}",)
+            if self.columnar:
+                stats_lines += (
+                    f"batch data plane: filter/project cost factors "
+                    f"{COLUMNAR_FILTER_COST_FACTOR:.2f}/"
+                    f"{COLUMNAR_PROJECT_COST_FACTOR:.2f} of row plane",)
 
         # (1) Correctness first: Listing 8's nullability rule.
         if not node.complete and node.dimensions_nullable:
@@ -495,7 +525,12 @@ class CostModel:
                             "partitioning kept", None)
         expected_window = density * estimated / num_partitions
         if expected_window < self.repartition_break_even:
-            suffix = ", vectorized kernels" if self.vectorized else ""
+            if self.columnar and self.vectorized:
+                suffix = ", batch data plane"
+            elif self.vectorized:
+                suffix = ", vectorized kernels"
+            else:
+                suffix = ""
             return ("keep", f"expected local window "
                             f"~{expected_window:.0f} rows is below the "
                             f"repartition break-even "

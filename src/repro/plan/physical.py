@@ -24,10 +24,23 @@ from ..core.partitioning import partition_rows
 from ..core.vectorized import KernelSet, select_kernels
 from ..engine import expressions as E
 from ..engine.backends import StageTask
+from ..engine.batch import ColumnBatch
 from ..engine.cluster import ExecutionContext
-from ..engine.rdd import RDD
+from ..engine.rdd import RDD, BatchRDD
 from ..errors import ExecutionError
 from . import logical as L
+
+def _rows_rdd(result: "RDD | BatchRDD") -> RDD:
+    """A row RDD view of an operator's output (no-op for row RDDs).
+
+    Row-oriented operators (sorts, joins, aggregates, shuffles) call
+    this on their child's output, so they work unchanged under the
+    batch data plane -- the conversion is exact, the batch plane's
+    invariant.
+    """
+    if isinstance(result, BatchRDD):
+        return result.to_row_rdd()
+    return result
 
 _node_ids = itertools.count(1)
 
@@ -91,8 +104,21 @@ class PhysicalPlan:
     def output(self) -> list[E.AttributeReference]:
         raise NotImplementedError
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
         raise NotImplementedError
+
+    @property
+    def exec_mode(self) -> str:
+        """Partition representation this operator emits.
+
+        ``batch`` operators exchange :class:`ColumnBatch`es (the
+        columnar data plane), ``row`` operators exchange row-tuple
+        lists.  Reported per operator by ``EXPLAIN``.
+        """
+        return "row"
+
+    def _mode_tag(self) -> str:
+        return f" [{self.exec_mode}]"
 
     def stage_name(self, suffix: str = "") -> str:
         base = f"{type(self).__name__}-{self.node_id}"
@@ -123,23 +149,43 @@ def physical_tree_string(plan: PhysicalPlan, indent: int = 0) -> str:
 
 
 class ScanExec(PhysicalPlan):
-    """Read a catalog table, split over the default parallelism."""
+    """Read a catalog table, split over the default parallelism.
+
+    With ``columnar=True`` (the session's batch data plane) each
+    partition is columnized **once** here -- the single row->batch
+    boundary of a fully columnar plan -- and every downstream
+    batch-capable operator exchanges :class:`ColumnBatch`es.
+    """
 
     def __init__(self, rows: list[tuple],
                  output: list[E.AttributeReference],
-                 description: str = "scan") -> None:
+                 description: str = "scan",
+                 columnar: bool = False) -> None:
         super().__init__()
         self.rows = rows
         self._output = output
         self.description = description
+        self.columnar = columnar
 
     @property
     def output(self) -> list[E.AttributeReference]:
         return list(self._output)
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
+    @property
+    def exec_mode(self) -> str:
+        return "batch" if self.columnar else "row"
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
         num_partitions = ctx.config.default_parallelism
         rdd = RDD.from_rows(self.rows, num_partitions)
+        if self.columnar:
+            width = len(self._output)
+            tasks = [StageTask(
+                partition=i, rows_in=len(partition),
+                fn=lambda rows=partition: ColumnBatch.from_rows(
+                    rows, width))
+                for i, partition in enumerate(rdd.partitions)]
+            return BatchRDD(ctx.run_stage(self.stage_name(), tasks))
         tasks = [StageTask(partition=i, rows_in=len(partition),
                            fn=lambda rows=partition: rows)
                  for i, partition in enumerate(rdd.partitions)]
@@ -147,12 +193,25 @@ class ScanExec(PhysicalPlan):
         return rdd
 
     def node_description(self) -> str:
-        return f"Scan({self.description}, {len(self.rows)} rows)"
+        return f"Scan({self.description}, {len(self.rows)} rows)" \
+            + self._mode_tag()
 
 
 # ---------------------------------------------------------------------------
 # Row-at-a-time operators
 # ---------------------------------------------------------------------------
+
+
+def _filter_batch(batch: ColumnBatch,
+                  condition: E.Expression) -> ColumnBatch:
+    """One batch filtered to the rows where ``condition`` is TRUE."""
+    verdict = condition.eval_batch(batch)
+    if verdict.is_array:
+        keep = verdict.data if verdict.mask is None \
+            else (verdict.data & ~verdict.mask)
+    else:
+        keep = [v is True for v in verdict.data]
+    return batch.compress(keep)
 
 
 class FilterExec(PhysicalPlan):
@@ -165,12 +224,23 @@ class FilterExec(PhysicalPlan):
     def output(self) -> list[E.AttributeReference]:
         return self.children[0].output
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
+    @property
+    def exec_mode(self) -> str:
+        return self.children[0].exec_mode
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
         _prepare_subqueries(self.condition, ctx)
-        child_rdd = self.children[0].execute(ctx)
+        child_out = self.children[0].execute(ctx)
+        if isinstance(child_out, BatchRDD):
+            condition = self.condition
+            tasks = [StageTask(
+                partition=i, rows_in=batch.num_rows,
+                fn=lambda batch=batch: _filter_batch(batch, condition))
+                for i, batch in enumerate(child_out.batches)]
+            return BatchRDD(ctx.run_stage(self.stage_name(), tasks))
         predicate = self.condition.eval
         tasks = []
-        for i, partition in enumerate(child_rdd.partitions):
+        for i, partition in enumerate(child_out.partitions):
             def task(rows=partition):
                 return [row for row in rows if predicate(row) is True]
             tasks.append(StageTask(partition=i, rows_in=len(partition),
@@ -178,7 +248,7 @@ class FilterExec(PhysicalPlan):
         return RDD(ctx.run_stage(self.stage_name(), tasks))
 
     def node_description(self) -> str:
-        return f"Filter({self.condition!r})"
+        return f"Filter({self.condition!r})" + self._mode_tag()
 
 
 class ProjectExec(PhysicalPlan):
@@ -194,18 +264,34 @@ class ProjectExec(PhysicalPlan):
     def output(self) -> list[E.AttributeReference]:
         return list(self._output)
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
+    @property
+    def exec_mode(self) -> str:
+        return self.children[0].exec_mode
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
         for projection in self.projections:
             _prepare_subqueries(projection, ctx)
-        child_rdd = self.children[0].execute(ctx)
+        child_out = self.children[0].execute(ctx)
+        if isinstance(child_out, BatchRDD):
+            projections = self.projections
+            tasks = [StageTask(
+                partition=i, rows_in=batch.num_rows,
+                fn=lambda batch=batch: ColumnBatch(
+                    [p.eval_batch(batch) for p in projections],
+                    num_rows=batch.num_rows))
+                for i, batch in enumerate(child_out.batches)]
+            return BatchRDD(ctx.run_stage(self.stage_name(), tasks))
         evaluators = [p.eval for p in self.projections]
         tasks = []
-        for i, partition in enumerate(child_rdd.partitions):
+        for i, partition in enumerate(child_out.partitions):
             def task(rows=partition):
                 return [tuple(ev(row) for ev in evaluators) for row in rows]
             tasks.append(StageTask(partition=i, rows_in=len(partition),
                                    fn=task))
         return RDD(ctx.run_stage(self.stage_name(), tasks))
+
+    def node_description(self) -> str:
+        return "Project" + self._mode_tag()
 
 
 class LimitExec(PhysicalPlan):
@@ -219,7 +305,7 @@ class LimitExec(PhysicalPlan):
         return self.children[0].output
 
     def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+        child_rdd = _rows_rdd(self.children[0].execute(ctx))
         rows = child_rdd.collect()[:self.limit]
         stage = self.stage_name()
         ctx.stage(stage, parallelizable=False)
@@ -238,7 +324,7 @@ class DistinctExec(PhysicalPlan):
         return self.children[0].output
 
     def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+        child_rdd = _rows_rdd(self.children[0].execute(ctx))
         stage = self.stage_name()
         ctx.record_shuffle(stage, child_rdd.count())
 
@@ -269,7 +355,7 @@ class SortExec(PhysicalPlan):
         return self.children[0].output
 
     def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+        child_rdd = _rows_rdd(self.children[0].execute(ctx))
         stage = self.stage_name()
         ctx.record_shuffle(stage, child_rdd.count())
         comparator = _build_comparator(self.order)
@@ -387,7 +473,7 @@ class HashAggregateExec(PhysicalPlan):
         return list(self._output)
 
     def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+        child_rdd = _rows_rdd(self.children[0].execute(ctx))
         stage = self.stage_name()
         ctx.record_shuffle(stage, child_rdd.count())
         grouping_evals = [g.eval for g in self.grouping]
@@ -455,8 +541,8 @@ class HashJoinExec(PhysicalPlan):
         return list(self._output)
 
     def execute(self, ctx: ExecutionContext) -> RDD:
-        left_rdd = self.children[0].execute(ctx)
-        right_rdd = self.children[1].execute(ctx)
+        left_rdd = _rows_rdd(self.children[0].execute(ctx))
+        right_rdd = _rows_rdd(self.children[1].execute(ctx))
         stage = self.stage_name()
         right_rows = right_rdd.collect()
         ctx.record_shuffle(stage, len(right_rows))
@@ -585,8 +671,8 @@ class BroadcastNestedLoopJoinExec(PhysicalPlan):
         return list(self._output)
 
     def execute(self, ctx: ExecutionContext) -> RDD:
-        left_rdd = self.children[0].execute(ctx)
-        right_rdd = self.children[1].execute(ctx)
+        left_rdd = _rows_rdd(self.children[0].execute(ctx))
+        right_rdd = _rows_rdd(self.children[1].execute(ctx))
         stage = self.stage_name()
         right_rows = right_rdd.collect()
         ctx.record_shuffle(stage, len(right_rows) * max(
@@ -701,7 +787,18 @@ class _SkylineExec(PhysicalPlan):
     :mod:`repro.core.vectorized` (which fall back to the scalar
     reference per partition when the data cannot be columnized);
     the default keeps the pure-Python kernels.
+
+    Under the batch data plane (a :class:`BatchRDD` child) the
+    vectorized operators run the ``*_batch`` kernels, which assemble
+    their oriented value matrix straight from the batch columns --
+    no per-partition re-columnization -- and return filtered batches.
+    A scalar kernel set always drops to rows first (honouring
+    ``vectorized=False`` even in a columnar session).
     """
+
+    #: Which batch kernel of the :class:`KernelSet` this operator runs
+    #: (overridden per subclass; ``None`` = no batch path).
+    batch_kernel_attr: str | None = None
 
     def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
                  child: PhysicalPlan, vectorized: bool = False) -> None:
@@ -715,6 +812,56 @@ class _SkylineExec(PhysicalPlan):
     @property
     def output(self) -> list[E.AttributeReference]:
         return self.children[0].output
+
+    def _batch_kernel(self):
+        if self.batch_kernel_attr is None:
+            return None
+        return getattr(self.kernels, self.batch_kernel_attr)
+
+    @property
+    def exec_mode(self) -> str:
+        if self.children[0].exec_mode == "batch" and \
+                self._batch_kernel() is not None:
+            return "batch"
+        return "row"
+
+    def _batch_input(self, child_out: "RDD | BatchRDD"
+                     ) -> "BatchRDD | None":
+        """The child output as batches when the batch path applies."""
+        if isinstance(child_out, BatchRDD) and \
+                self._batch_kernel() is not None:
+            return child_out
+        return None
+
+    def _global_batch_execute(self, ctx: ExecutionContext,
+                              batches: "BatchRDD") -> "BatchRDD":
+        """The shared global-stage batch shape (``AllTuples``): merge
+        every partition into one batch and run the batch kernel as a
+        single non-parallelizable task."""
+        stage = self.stage_name()
+        merged = batches.concat()
+        ctx.record_shuffle(stage, merged.num_rows)
+        func = self._batch_kernel()
+        task = functools.partial(func, merged, self.dims, self.distinct,
+                                 check_deadline=ctx.check_deadline)
+        result = ctx.run_task(stage, 0, task, merged.num_rows,
+                              parallelizable=False,
+                              kernel=self.kernels.name)
+        return BatchRDD([result])
+
+    def _batch_tasks(self, ctx: ExecutionContext,
+                     batches: Sequence[ColumnBatch]) -> list[StageTask]:
+        """Per-partition batch-kernel tasks (picklable payloads)."""
+        func = self._batch_kernel()
+        tasks = []
+        for i, batch in enumerate(batches):
+            args = (batch, self.dims, self.distinct)
+            tasks.append(StageTask(
+                partition=i, rows_in=batch.num_rows,
+                fn=functools.partial(func, *args,
+                                     check_deadline=ctx.check_deadline),
+                func=func, args=args, kernel=self.kernels.name))
+        return tasks
 
     def _kernel_label(self, algorithm: str) -> str:
         if self.kernels.name == "vectorized":
@@ -754,7 +901,10 @@ class SkylineRepartitionExec(PhysicalPlan):
         return self.children[0].output
 
     def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+        # The grid/angle/random shuffles are row-oriented: a batch child
+        # is materialised here and the plan continues on rows (the
+        # skyline stage's kernels re-columnize per partition as needed).
+        child_rdd = _rows_rdd(self.children[0].execute(ctx))
         stage = self.stage_name()
         rows = child_rdd.collect()
         ctx.record_shuffle(stage, len(rows))
@@ -784,7 +934,7 @@ class SkylineRepartitionExec(PhysicalPlan):
 
     def node_description(self) -> str:
         return (f"SkylineRepartition({self.scheme}, "
-                f"{self.num_partitions} partitions)")
+                f"{self.num_partitions} partitions)") + self._mode_tag()
 
 
 class SkylineLocalExec(_SkylineExec):
@@ -795,8 +945,15 @@ class SkylineLocalExec(_SkylineExec):
     Section 2); each partition's window survivors feed the global node.
     """
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+    batch_kernel_attr = "local_bnl_batch"
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        child_out = self.children[0].execute(ctx)
+        batches = self._batch_input(child_out)
+        if batches is not None:
+            tasks = self._batch_tasks(ctx, batches.batches)
+            return BatchRDD(ctx.run_stage(self.stage_name(), tasks))
+        child_rdd = _rows_rdd(child_out)
         tasks = _local_skyline_tasks(ctx, child_rdd.partitions,
                                      self.kernels.local_bnl,
                                      (self.dims, self.distinct),
@@ -805,16 +962,22 @@ class SkylineLocalExec(_SkylineExec):
 
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
-        return f"SkylineLocal({self._kernel_label('BNL')}, [{dims}])"
+        return f"SkylineLocal({self._kernel_label('BNL')}, [{dims}])" \
+            + self._mode_tag()
 
 
 class SkylineGlobalCompleteExec(_SkylineExec):
     """Global BNL skyline under the ``AllTuples`` distribution."""
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+    batch_kernel_attr = "local_bnl_batch"
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        child_out = self.children[0].execute(ctx)
         stage = self.stage_name()
-        rows = child_rdd.collect()
+        batches = self._batch_input(child_out)
+        if batches is not None:
+            return self._global_batch_execute(ctx, batches)
+        rows = _rows_rdd(child_out).collect()
         ctx.record_shuffle(stage, len(rows))
         task = functools.partial(self.kernels.local_bnl, rows, self.dims,
                                  self.distinct,
@@ -827,7 +990,7 @@ class SkylineGlobalCompleteExec(_SkylineExec):
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
         return f"SkylineGlobalComplete({self._kernel_label('BNL')}, " \
-               f"[{dims}])"
+               f"[{dims}])" + self._mode_tag()
 
 
 class SkylineLocalIncompleteExec(_SkylineExec):
@@ -840,10 +1003,43 @@ class SkylineLocalIncompleteExec(_SkylineExec):
     is then safe per partition.
     """
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+    batch_kernel_attr = "local_bnl_incomplete_batch"
+
+    def _bitmap_batches(self, batches: BatchRDD) -> list[ColumnBatch]:
+        """The null-bitmap distribution, computed column-wise.
+
+        Mirrors :meth:`~repro.engine.rdd.RDD.partition_by_key` exactly:
+        one partition per distinct bitmap, in first-seen order over the
+        concatenated input.
+        """
+        from ..core.vectorized import batch_null_bitmaps
+        merged = batches.concat()
+        bitmaps = batch_null_bitmaps(merged, self.dims)
+        groups: dict[int, list[int]] = {}
+        for i, bitmap in enumerate(bitmaps):
+            groups.setdefault(bitmap, []).append(i)
+        if not groups:
+            return [merged]
+        return [merged.take(indices) for indices in groups.values()]
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        child_out = self.children[0].execute(ctx)
         stage = self.stage_name()
         dims = self.dims
+        batches = self._batch_input(child_out)
+        if batches is not None:
+            ctx.record_shuffle(stage, batches.count())
+            func = self._batch_kernel()
+            tasks = []
+            for i, batch in enumerate(self._bitmap_batches(batches)):
+                args = (batch, dims)
+                tasks.append(StageTask(
+                    partition=i, rows_in=batch.num_rows,
+                    fn=functools.partial(
+                        func, *args, check_deadline=ctx.check_deadline),
+                    func=func, args=args, kernel=self.kernels.name))
+            return BatchRDD(ctx.run_stage(stage, tasks))
+        child_rdd = _rows_rdd(child_out)
         ctx.record_shuffle(stage, child_rdd.count())
         partitioned = child_rdd.partition_by_key(
             lambda row: null_bitmap(row, dims))
@@ -855,7 +1051,8 @@ class SkylineLocalIncompleteExec(_SkylineExec):
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
         label = self._kernel_label("bitmap-partitioned BNL")
-        return f"SkylineLocalIncomplete({label}, [{dims}])"
+        return f"SkylineLocalIncomplete({label}, [{dims}])" \
+            + self._mode_tag()
 
 
 class SkylineGlobalIncompleteExec(_SkylineExec):
@@ -865,10 +1062,15 @@ class SkylineGlobalIncompleteExec(_SkylineExec):
     compares all pairs, flags, and deletes at the end.
     """
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+    batch_kernel_attr = "global_flagged_batch"
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        child_out = self.children[0].execute(ctx)
         stage = self.stage_name()
-        rows = child_rdd.collect()
+        batches = self._batch_input(child_out)
+        if batches is not None:
+            return self._global_batch_execute(ctx, batches)
+        rows = _rows_rdd(child_out).collect()
         ctx.record_shuffle(stage, len(rows))
         task = functools.partial(self.kernels.global_flagged, rows,
                                  self.dims, self.distinct,
@@ -881,7 +1083,8 @@ class SkylineGlobalIncompleteExec(_SkylineExec):
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
         label = self._kernel_label("all-pairs flagged")
-        return f"SkylineGlobalIncomplete({label}, [{dims}])"
+        return f"SkylineGlobalIncomplete({label}, [{dims}])" \
+            + self._mode_tag()
 
 
 class SkylineLocalSFSExec(_SkylineExec):
@@ -889,8 +1092,15 @@ class SkylineLocalSFSExec(_SkylineExec):
     (Section 7), available through the ``skyline.algorithm=sfs`` session
     option and exercised by the ablation benchmarks."""
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+    batch_kernel_attr = "local_sfs_batch"
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        child_out = self.children[0].execute(ctx)
+        batches = self._batch_input(child_out)
+        if batches is not None:
+            tasks = self._batch_tasks(ctx, batches.batches)
+            return BatchRDD(ctx.run_stage(self.stage_name(), tasks))
+        child_rdd = _rows_rdd(child_out)
         tasks = _local_skyline_tasks(ctx, child_rdd.partitions,
                                      self.kernels.local_sfs,
                                      (self.dims, self.distinct),
@@ -899,16 +1109,22 @@ class SkylineLocalSFSExec(_SkylineExec):
 
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
-        return f"SkylineLocalSFS({self._kernel_label('SFS')}, [{dims}])"
+        return f"SkylineLocalSFS({self._kernel_label('SFS')}, [{dims}])" \
+            + self._mode_tag()
 
 
 class SkylineGlobalSFSExec(_SkylineExec):
     """Global SFS skyline under the ``AllTuples`` distribution."""
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
-        child_rdd = self.children[0].execute(ctx)
+    batch_kernel_attr = "local_sfs_batch"
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        child_out = self.children[0].execute(ctx)
         stage = self.stage_name()
-        rows = child_rdd.collect()
+        batches = self._batch_input(child_out)
+        if batches is not None:
+            return self._global_batch_execute(ctx, batches)
+        rows = _rows_rdd(child_out).collect()
         ctx.record_shuffle(stage, len(rows))
         task = functools.partial(self.kernels.local_sfs, rows, self.dims,
                                  self.distinct,
@@ -920,4 +1136,5 @@ class SkylineGlobalSFSExec(_SkylineExec):
 
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
-        return f"SkylineGlobalSFS({self._kernel_label('SFS')}, [{dims}])"
+        return f"SkylineGlobalSFS({self._kernel_label('SFS')}, " \
+               f"[{dims}])" + self._mode_tag()

@@ -61,7 +61,8 @@ class Planner:
                  max_workers: int | None = None,
                  partitioning: str = "keep",
                  num_partitions: int | None = None,
-                 vectorized: bool = False) -> None:
+                 vectorized: bool = False,
+                 columnar: bool = False) -> None:
         if skyline_strategy not in SKYLINE_STRATEGIES:
             raise PlanningError(
                 f"unknown skyline strategy {skyline_strategy!r}; expected "
@@ -79,6 +80,10 @@ class Planner:
         #: True when the skyline operators should run the columnar
         #: NumPy kernels (:mod:`repro.core.vectorized`).
         self.vectorized = vectorized
+        #: True when the plan should execute on the batch data plane:
+        #: scans columnize their partitions and the batch-capable
+        #: operators exchange :class:`~repro.engine.batch.ColumnBatch`es.
+        self.columnar = columnar
         #: One entry per planned skyline operator, in plan order.
         self.decisions: list = []
 
@@ -87,9 +92,10 @@ class Planner:
     def plan(self, node: L.LogicalPlan) -> P.PhysicalPlan:
         if isinstance(node, L.LogicalRelation):
             return P.ScanExec(node.table.rows, node.output,
-                              node.table.name)
+                              node.table.name, columnar=self.columnar)
         if isinstance(node, L.LocalRelation):
-            return P.ScanExec(node.rows, node.output, "local")
+            return P.ScanExec(node.rows, node.output, "local",
+                              columnar=self.columnar)
         if isinstance(node, L.SubqueryAlias):
             # Normally eliminated by the optimizer; harmless passthrough.
             child = self.plan(node.child)
@@ -193,7 +199,8 @@ class Planner:
             # statistics subsystem.
             model = CostModel(self.catalog, self.num_executors,
                               self.max_workers,
-                              vectorized=self.vectorized)
+                              vectorized=self.vectorized,
+                              columnar=self.columnar)
             decision = model.decide(node)
             strategy = decision.algorithm
             if self.skyline_strategy == "adaptive" and \
@@ -256,5 +263,9 @@ class _RenameExec(P.PhysicalPlan):
     def output(self):
         return list(self._output)
 
-    def execute(self, ctx) -> "P.RDD":
+    @property
+    def exec_mode(self) -> str:
+        return self.children[0].exec_mode
+
+    def execute(self, ctx):
         return self.children[0].execute(ctx)

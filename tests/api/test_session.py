@@ -195,3 +195,75 @@ class TestVectorizedConfiguration:
         scalar = session.with_vectorized(False)
         assert "vectorized" not in scalar.explain(parse_query(
             "SELECT * FROM pts SKYLINE OF a MIN, b MIN"))
+
+
+class TestColumnarConfiguration:
+    def test_invalid_flags_rejected(self):
+        for bad in (1, 0, "yes", None):
+            with pytest.raises(ValueError, match="columnar"):
+                SkylineSession(columnar=bad)
+            with pytest.raises(ValueError, match="columnar"):
+                SkylineSession().with_columnar(bad)
+
+    def test_with_columnar_clones_and_shares_catalog(self):
+        session = SkylineSession(columnar=False)
+        session.create_table("c", [("a", INTEGER, False)], [(1,), (2,)])
+        clone = session.with_columnar(True)
+        assert clone.catalog is session.catalog
+        assert session.columnar is False
+        assert clone.columnar is True
+        assert session.with_executors(4).columnar is False
+
+    def test_true_works_without_numpy(self):
+        # Unlike vectorized=True, the batch plane has a scalar-list
+        # fallback, so forcing it never requires NumPy.
+        session = SkylineSession(columnar=True)
+        assert session.columnar_enabled
+        session.create_table("c", [("a", INTEGER, False),
+                                   ("b", INTEGER, False)],
+                             [(1, 2), (2, 1), (3, 3)])
+        result = session.sql(
+            "SELECT * FROM c SKYLINE OF a MIN, b MIN").to_tuples()
+        assert sorted(result) == [(1, 2), (2, 1)]
+
+    def test_auto_honours_disable_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_COLUMNAR", "1")
+        assert not SkylineSession(columnar="auto").columnar_enabled
+        assert SkylineSession(columnar=True).columnar_enabled
+
+    def test_explain_reports_per_operator_modes(self):
+        from repro.core.vectorized import numpy_available
+        if not numpy_available():
+            pytest.skip("NumPy not available")
+        session = SkylineSession(columnar=True)
+        session.create_table(
+            "pts", [("a", INTEGER, False), ("b", INTEGER, False)],
+            [(1, 2), (2, 1)])
+        query = parse_query(
+            "SELECT a FROM pts WHERE b > 0 SKYLINE OF a MIN, b MIN")
+        text = session.explain(query)
+        assert "[batch]" in text
+        assert "Filter" in text and "Scan" in text
+        row_text = session.with_columnar(False).explain(query)
+        assert "[row]" in row_text
+        assert "[batch]" not in row_text
+
+    def test_repartitioned_skyline_drops_to_rows(self):
+        from repro.core.vectorized import numpy_available
+        if not numpy_available():
+            pytest.skip("NumPy not available")
+        session = SkylineSession(
+            columnar=True, skyline_partitioning="grid",
+            skyline_partitions=4)
+        session.create_table(
+            "pts", [("a", INTEGER, False), ("b", INTEGER, False)],
+            [(i, 10 - i) for i in range(10)])
+        text = session.explain(parse_query(
+            "SELECT * FROM pts SKYLINE OF a MIN, b MIN"))
+        # The grid shuffle is row-oriented, so everything above it
+        # reports row mode while the scan below stays batch.
+        assert "SkylineRepartition(grid, 4 partitions) [row]" in text
+        assert "[batch]" in text  # the scan
+        result = session.sql(
+            "SELECT * FROM pts SKYLINE OF a MIN, b MIN").to_tuples()
+        assert len(result) == 10

@@ -1,0 +1,132 @@
+"""ColumnBatch storage semantics: exact round-trips and slicing."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.engine.batch import (HAVE_NUMPY, OBJ, ColumnBatch,
+                                encode_numeric_column)
+
+NAN = float("nan")
+INF = float("inf")
+
+
+def same_value(a, b) -> bool:
+    """Equality that treats NaN as equal to NaN and checks types."""
+    if a is None or b is None:
+        return a is None and b is None
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, float) and math.isnan(a):
+        return isinstance(b, float) and math.isnan(b)
+    return a == b
+
+
+def assert_round_trip(rows, width):
+    batch = ColumnBatch.from_rows(list(rows), width)
+    # Drop the cached row view so to_rows really decodes the columns.
+    batch._rows = None
+    back = batch.to_rows()
+    assert len(back) == len(rows)
+    for original, decoded in zip(rows, back):
+        for a, b in zip(original, decoded):
+            assert same_value(a, b), (original, decoded)
+
+
+class TestRoundTrip:
+    def test_float_int_bool_string_columns(self):
+        rows = [(1.5, 7, True, "x"), (2.5, -3, False, "y"),
+                (0.0, 2 ** 60, True, "z")]
+        assert_round_trip(rows, 4)
+
+    def test_nulls_in_every_kind(self):
+        rows = [(1.5, 7, True, "x"), (None, None, None, None)]
+        assert_round_trip(rows, 4)
+
+    def test_nan_and_inf_stay_distinct_from_null(self):
+        rows = [(NAN,), (INF,), (-INF,), (None,), (1.0,)]
+        assert_round_trip(rows, 1)
+
+    def test_int_beyond_int64_falls_back_to_list(self):
+        rows = [(2 ** 70,), (-2 ** 70,), (5,)]
+        batch = ColumnBatch.from_rows(rows, 1)
+        assert batch.column(0).kind == OBJ
+        assert_round_trip(rows, 1)
+
+    def test_mixed_int_float_column_keeps_types(self):
+        rows = [(1,), (2.5,)]
+        batch = ColumnBatch.from_rows(rows, 1)
+        assert batch.column(0).kind == OBJ
+        assert_round_trip(rows, 1)
+
+    def test_empty_batch(self):
+        batch = ColumnBatch.from_rows([], 3)
+        assert batch.num_rows == 0
+        assert batch.to_rows() == []
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+    def test_typed_storage_is_used_when_faithful(self):
+        rows = [(1.5, 7, True), (2.5, -3, False)]
+        batch = ColumnBatch.from_rows(rows, 3)
+        assert [c.kind for c in batch.columns] == ["f8", "i8", "b1"]
+
+
+class TestSlicing:
+    ROWS = [(1.0, "a", 1), (2.0, "b", None), (None, "c", 3),
+            (4.0, "d", 4)]
+
+    def test_take_preserves_order_and_values(self):
+        batch = ColumnBatch.from_rows(self.ROWS, 3)
+        taken = batch.take([2, 0])
+        assert taken.to_rows() == [self.ROWS[2], self.ROWS[0]]
+
+    def test_compress(self):
+        batch = ColumnBatch.from_rows(self.ROWS, 3)
+        kept = batch.compress([True, False, True, False])
+        assert kept.to_rows() == [self.ROWS[0], self.ROWS[2]]
+
+    def test_concat_same_and_mixed_kinds(self):
+        left = ColumnBatch.from_rows(self.ROWS[:2], 3)
+        right = ColumnBatch.from_rows(self.ROWS[2:], 3)
+        merged = ColumnBatch.concat([left, right])
+        assert merged.to_rows() == self.ROWS
+        # Mixed storage kinds (f8 vs obj) re-encode via values.
+        odd = ColumnBatch.from_rows([(2 ** 70, "x", 1)], 3)
+        merged = ColumnBatch.concat([left, odd])
+        assert merged.to_rows() == self.ROWS[:2] + [(2 ** 70, "x", 1)]
+
+    def test_pickle_round_trip(self):
+        batch = ColumnBatch.from_rows(self.ROWS, 3)
+        clone = pickle.loads(pickle.dumps(batch))
+        assert clone.to_rows() == self.ROWS
+
+
+class TestEncodeNumericColumn:
+    """The shared columnization point keeps the pinned semantics."""
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+    def test_nulls_become_nan_plus_mask(self):
+        import numpy as np
+        data, mask = encode_numeric_column([1.0, None, 3.0])
+        assert mask.tolist() == [False, True, False]
+        assert np.isnan(data[1])
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+    def test_nan_data_stays_unmasked(self):
+        import numpy as np
+        data, mask = encode_numeric_column([NAN, 2.0])
+        assert mask.tolist() == [False, False]
+        assert np.isnan(data[0])
+
+    def test_non_numeric_refuses(self):
+        assert encode_numeric_column(["a", 1.0]) is None
+
+    def test_int_beyond_float64_exact_refuses(self):
+        assert encode_numeric_column([2 ** 53 + 1]) is None
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+    def test_bools_and_exact_ints_encode(self):
+        data, mask = encode_numeric_column([True, False, 2 ** 53])
+        assert data.tolist() == [1.0, 0.0, float(2 ** 53)]
+        assert not mask.any()

@@ -88,11 +88,12 @@ def shared_backends():
 
 
 def _make_session(rows, nullable: bool, algorithm: str, scheme: str,
-                  backend, vectorized) -> SkylineSession:
+                  backend, vectorized,
+                  columnar="auto") -> SkylineSession:
     session = SkylineSession(
         num_executors=3, skyline_algorithm=algorithm,
         skyline_partitioning=scheme, skyline_partitions=3,
-        backend=backend, vectorized=vectorized)
+        backend=backend, vectorized=vectorized, columnar=columnar)
     session.create_table(
         "t",
         [("id", INTEGER, False), ("a", DOUBLE, nullable),
@@ -163,6 +164,78 @@ def test_reference_sql_rewrite_matches_oracle(vectorized):
            "AND i.c <= o.c AND (i.a < o.a OR i.b > o.b OR i.c < o.c))")
     assert sorted(session.sql(sql).to_tuples(), key=repr) == \
         COMPLETE_ORACLE
+
+
+@pytest.mark.parametrize(
+    "algorithm,backend_name,columnar",
+    list(itertools.product(COMPLETE_ALGORITHMS, BACKENDS,
+                           (True, False))))
+def test_columnar_plane_matches_oracle_complete(algorithm, backend_name,
+                                                columnar,
+                                                shared_backends):
+    """The batch data plane against the all-pairs oracle.
+
+    ``columnar=True`` exchanges ColumnBatches end to end (falling back
+    to scalar-list columns without NumPy -- this leg also runs on the
+    no-NumPy CI job); ``columnar=False`` pins the row reference plane.
+    Results must be identical across both and every backend.
+    """
+    session = _make_session(COMPLETE_ROWS, False, algorithm, "keep",
+                            shared_backends[backend_name](), "auto",
+                            columnar=columnar)
+    result = sorted(session.sql(SQL3).to_tuples(), key=repr)
+    assert result == COMPLETE_ORACLE, (
+        f"{algorithm}/{backend_name}/columnar={columnar} diverged "
+        f"from the all-pairs oracle")
+
+
+@pytest.mark.parametrize(
+    "backend_name,columnar",
+    list(itertools.product(BACKENDS, (True, False))))
+def test_columnar_plane_matches_oracle_incomplete(backend_name, columnar,
+                                                  shared_backends):
+    session = _make_session(INCOMPLETE_ROWS, True,
+                            "distributed-incomplete", "keep",
+                            shared_backends[backend_name](), "auto",
+                            columnar=columnar)
+    result = sorted(session.sql(SQL3).to_tuples(), key=repr)
+    assert result == INCOMPLETE_ORACLE, (
+        f"columnar={columnar}/{backend_name} diverged from the "
+        f"null-aware all-pairs oracle")
+
+
+@pytest.mark.parametrize("columnar", (True, False))
+@pytest.mark.parametrize("scheme", PARTITIONING_SCHEMES)
+def test_columnar_plane_matches_oracle_under_partitioning(scheme,
+                                                          columnar):
+    session = _make_session(COMPLETE_ROWS, False, "distributed-complete",
+                            scheme, "local", "auto", columnar=columnar)
+    result = sorted(session.sql(SQL3).to_tuples(), key=repr)
+    assert result == COMPLETE_ORACLE
+
+
+@pytest.mark.parametrize("columnar", (True, False))
+def test_columnar_distinct_matches_oracle(columnar):
+    session = _make_session(COMPLETE_ROWS, False, "distributed-complete",
+                            "keep", "local", "auto", columnar=columnar)
+    result = session.sql(SQL3_DISTINCT).to_tuples()
+    expected = {row[1:] for row in COMPLETE_ORACLE}
+    assert {row[1:] for row in result} == expected
+    assert len(result) == len(expected)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not available")
+def test_batch_mode_actually_ran():
+    """Guard against silently testing the row plane twice: with
+    columnar=True the data-plane operators must report batch mode."""
+    session = _make_session(COMPLETE_ROWS, False, "distributed-complete",
+                            "keep", "local", "auto", columnar=True)
+    plan = session.sql(SQL3).plan
+    text = session.explain(plan)
+    assert "Scan(t, 154 rows) [batch]" in text
+    assert "[row]" not in text
+    row_text = session.with_columnar(False).explain(plan)
+    assert "[batch]" not in row_text
 
 
 @pytest.mark.skipif(not numpy_available(), reason="NumPy not available")
