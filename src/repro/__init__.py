@@ -9,9 +9,10 @@ benchmark harness regenerating the paper's tables and figures.
 
 Quickstart::
 
-    from repro import SkylineSession, smin, smax
+    import repro
+    from repro import smin, smax
 
-    session = SkylineSession(num_executors=4)
+    session = repro.connect(num_executors=4)
     session.create_table(
         "hotels",
         [("name", STRING), ("price", DOUBLE), ("rating", DOUBLE)],
@@ -27,7 +28,8 @@ Quickstart::
         smin("price"), smax("rating")).collect()
 """
 
-from .api import DataFrame, GroupedData, QueryResult, SkylineSession
+from .api import (DataFrame, GroupedData, QueryResult, SessionConfig,
+                  SkylineSession, connect)
 from .core import (Algorithm, BoundDimension, DimensionKind, DominanceStats,
                    bnl_skyline, dominates, dominates_incomplete, skyline)
 from .engine import (BACKEND_NAMES, BOOLEAN, DOUBLE, INTEGER, STRING, Backend,
@@ -39,8 +41,11 @@ from .engine.functions import (avg, coalesce, col, count, ifnull, lit,
 from .errors import (AnalysisError, BenchmarkTimeout, ExecutionError,
                      ParseError, PlanningError, ReproError)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The stable public surface: ``repro.connect()`` is the supported
+#: entry point; everything listed here keeps working across minor
+#: versions (deprecated aliases emit ``DeprecationWarning`` first).
 __all__ = [
     "Algorithm",
     "AnalysisError",
@@ -64,11 +69,13 @@ __all__ = [
     "Row",
     "STRING",
     "Schema",
+    "SessionConfig",
     "SkylineSession",
     "avg",
     "bnl_skyline",
     "coalesce",
     "col",
+    "connect",
     "count",
     "dominates",
     "dominates_incomplete",

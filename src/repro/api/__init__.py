@@ -1,6 +1,8 @@
-"""User-facing API: session entry point and DataFrame."""
+"""User-facing API: session entry point, configuration and DataFrame."""
 
+from .config import SessionConfig
 from .dataframe import DataFrame, GroupedData
-from .session import QueryResult, SkylineSession
+from .session import PreparedQuery, QueryResult, SkylineSession, connect
 
-__all__ = ["DataFrame", "GroupedData", "QueryResult", "SkylineSession"]
+__all__ = ["DataFrame", "GroupedData", "PreparedQuery", "QueryResult",
+           "SessionConfig", "SkylineSession", "connect"]

@@ -1,0 +1,244 @@
+"""Session configuration as a single frozen dataclass.
+
+:class:`SessionConfig` consolidates what used to be a sprawl of
+``SkylineSession.__init__`` keyword arguments and ``with_*`` builder
+methods into one immutable value object.  A session is constructed from
+a config (``SkylineSession(config=...)`` or :func:`repro.connect`) and
+re-configured with :meth:`SessionConfig.with_options` /
+:meth:`SkylineSession.with_options`; the old keyword arguments and
+builders remain as deprecation shims.
+
+The config is also the unit of multi-tenancy in the serving layer
+(:mod:`repro.serve`): each tenant registers one ``SessionConfig`` and
+the server derives a session from it over the shared catalog, backend
+pool, and caches.  :meth:`SessionConfig.fingerprint` is the hashable
+planning key those shared plan caches use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.vectorized import numpy_available
+from ..engine.backends import BACKEND_NAMES, Backend
+from ..engine.cluster import ClusterConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+def _validate_vectorized(vectorized: "bool | str") -> None:
+    """Reject invalid ``vectorized`` flags.
+
+    Identity checks on purpose: ``1 == True`` would let the ints 1/0
+    slip past a membership test and then miss the ``is True`` NumPy
+    check below, silently requiring nothing.
+    """
+    if not (vectorized is True or vectorized is False
+            or vectorized == "auto"):
+        raise ValueError(
+            f"vectorized must be True, False or 'auto', "
+            f"got {vectorized!r}")
+    if vectorized is True and not numpy_available():
+        raise ValueError(
+            "vectorized=True requires NumPy (install the "
+            "'repro-skyline[numpy]' extra); use vectorized='auto' "
+            "to fall back to the pure-Python kernels")
+
+
+def _validate_columnar(columnar: "bool | str") -> None:
+    """Reject invalid ``columnar`` flags.
+
+    Unlike ``vectorized=True``, ``columnar=True`` is valid without
+    NumPy: the batch plane falls back to scalar-list columns and
+    per-row expression evaluation, producing identical results.
+    """
+    if not (columnar is True or columnar is False or columnar == "auto"):
+        raise ValueError(
+            f"columnar must be True, False or 'auto', got {columnar!r}")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Every session-level knob, in one immutable place.
+
+    >>> from repro import SessionConfig
+    >>> config = SessionConfig(num_executors=4, adaptive=True)
+    >>> config.skyline_algorithm
+    'adaptive'
+    >>> config.with_options(num_executors=8).num_executors
+    8
+    >>> config.num_executors  # the original is unchanged (frozen)
+    4
+
+    Parameters
+    ----------
+    num_executors:
+        Simulated executor count (the paper's ``--num-executors``).
+    skyline_algorithm:
+        ``auto`` (Listing 8 selection), ``adaptive``/``cost-based``
+        (statistics-driven selection), or a forced strategy
+        (``distributed-complete``, ``non-distributed-complete``,
+        ``distributed-incomplete``, ``sfs``).
+    adaptive:
+        Shorthand for ``skyline_algorithm="adaptive"``; the two fields
+        are kept consistent (``adaptive is True`` iff the algorithm is
+        ``"adaptive"``).
+    skyline_partitioning:
+        Forced local-stage partitioning scheme (``keep``, ``random``,
+        ``grid``, ``angle``).
+    skyline_partitions:
+        Partition count used with a forced scheme
+        (default: ``num_executors``).
+    enable_skyline_optimizations:
+        Toggles the Section 5.4 optimizer rules.
+    cluster_config:
+        Full simulated-cluster model override; ``num_executors`` wins
+        when both are given.
+    backend:
+        Execution backend name (``local``/``thread``/``process``) or a
+        pre-built :class:`~repro.engine.backends.Backend` instance.
+    num_workers:
+        Pool size for the thread/process backends.
+    vectorized:
+        Skyline kernel selection: ``"auto"``, ``True`` (requires
+        NumPy), or ``False`` (scalar reference kernels).
+    columnar:
+        Batch data plane: ``"auto"``, ``True``, or ``False`` (row
+        plane).  ``REPRO_DISABLE_COLUMNAR=1`` makes ``"auto"`` resolve
+        to off.
+    time_budget_s:
+        Per-query wall-clock budget; queries raise
+        :class:`~repro.errors.BenchmarkTimeout` beyond it.  ``None``
+        disables the budget.  (Completes the config API: the
+        ``set_time_budget`` mutator remains as a convenience.)
+    """
+
+    num_executors: int = 2
+    skyline_algorithm: str = "auto"
+    adaptive: bool = False
+    skyline_partitioning: str = "keep"
+    skyline_partitions: "int | None" = None
+    enable_skyline_optimizations: bool = True
+    cluster_config: "ClusterConfig | None" = None
+    backend: "str | Backend" = "local"
+    num_workers: "int | None" = None
+    vectorized: "bool | str" = "auto"
+    columnar: "bool | str" = "auto"
+    time_budget_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        # Imported here: repro.plan imports repro.engine, which must not
+        # circularly depend on the api package at import time.
+        from ..plan.planner import PARTITIONING_SCHEMES, SKYLINE_STRATEGIES
+
+        if self.adaptive:
+            if self.skyline_algorithm not in ("auto", "adaptive"):
+                raise ValueError(
+                    "adaptive=True conflicts with skyline_algorithm="
+                    f"{self.skyline_algorithm!r}")
+            object.__setattr__(self, "skyline_algorithm", "adaptive")
+        elif self.skyline_algorithm == "adaptive":
+            object.__setattr__(self, "adaptive", True)
+        if self.skyline_algorithm not in SKYLINE_STRATEGIES:
+            raise ValueError(
+                f"unknown skyline_algorithm "
+                f"{self.skyline_algorithm!r}; expected one of "
+                f"{SKYLINE_STRATEGIES}")
+        if self.skyline_partitioning not in PARTITIONING_SCHEMES:
+            raise ValueError(
+                f"unknown skyline_partitioning "
+                f"{self.skyline_partitioning!r}; expected one of "
+                f"{PARTITIONING_SCHEMES}")
+        _validate_vectorized(self.vectorized)
+        _validate_columnar(self.columnar)
+        if not isinstance(self.backend, Backend) and \
+                self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{BACKEND_NAMES}")
+        if self.num_executors < 1:
+            raise ValueError("num_executors must be >= 1")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+
+    # -- derived views ----------------------------------------------------
+
+    @property
+    def vectorized_enabled(self) -> bool:
+        """True when skyline queries run the columnar NumPy kernels."""
+        if self.vectorized == "auto":
+            return numpy_available()
+        return bool(self.vectorized)
+
+    @property
+    def columnar_enabled(self) -> bool:
+        """True when query plans execute on the batch data plane."""
+        if self.columnar == "auto":
+            if os.environ.get("REPRO_DISABLE_COLUMNAR"):
+                return False
+            return numpy_available()
+        return bool(self.columnar)
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name if isinstance(self.backend, Backend) \
+            else str(self.backend)
+
+    def fingerprint(self) -> tuple:
+        """Hashable snapshot of every planning-relevant setting.
+
+        Two configs with equal fingerprints plan identical logical
+        plans identically, so cross-session plan caches
+        (:class:`repro.serve.catalog.CatalogService`) key on this.
+        ``time_budget_s`` is execution-only and excluded on purpose.
+        """
+        return (
+            self.num_executors,
+            self.skyline_algorithm,
+            self.skyline_partitioning,
+            self.skyline_partitions,
+            self.enable_skyline_optimizations,
+            self.backend_name,
+            self.num_workers,
+            self.vectorized_enabled,
+            self.columnar_enabled,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view of the config (the serving protocol's
+        ``configure`` response); non-serialisable field values
+        (backend instances, cluster configs) are rendered as strings."""
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value is not None and \
+                    not isinstance(value, (bool, int, float, str)):
+                value = str(value)
+            out[f.name] = value
+        return out
+
+    # -- evolution --------------------------------------------------------
+
+    def with_options(self, **overrides) -> "SessionConfig":
+        """A copy with the given fields replaced (validation reruns).
+
+        >>> SessionConfig().with_options(backend="thread").backend_name
+        'thread'
+        """
+        if "skyline_algorithm" in overrides and "adaptive" not in overrides:
+            # Keep the adaptive flag consistent instead of letting a
+            # stale True conflict with an explicit algorithm override.
+            overrides["adaptive"] = \
+                overrides["skyline_algorithm"] == "adaptive"
+        unknown = set(overrides) - {f.name for f in
+                                    dataclasses.fields(self)}
+        if unknown:
+            raise TypeError(
+                f"unknown session option(s): {sorted(unknown)}; valid "
+                f"options are "
+                f"{sorted(f.name for f in dataclasses.fields(self))}")
+        return dataclasses.replace(self, **overrides)

@@ -4,15 +4,20 @@
 catalog, the cluster configuration (number of executors, Section 6.1's
 main tuning knob) and the query pipeline (parser -> analyzer -> optimizer
 -> planner -> execution, Figure 2 of the paper).
+
+Configuration lives in one frozen :class:`~repro.api.config.SessionConfig`
+value object; the historical constructor keyword arguments and the
+``with_executors``/``with_backend``/... builder zoo remain as thin
+deprecation shims over ``SkylineSession(config=...)`` and
+:meth:`SkylineSession.with_options`.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
-from ..core.vectorized import numpy_available
 from ..engine import expressions as E
 from ..engine.backends import (Backend, BackendSpec, default_num_workers)
 from ..engine.catalog import Catalog, ForeignKey, Table
@@ -23,51 +28,37 @@ from ..plan.analyzer import Analyzer
 from ..plan.logical import (AnalyzeTable, LocalRelation, LogicalPlan,
                             tree_string)
 from ..plan.optimizer import Optimizer
-from ..plan.physical import physical_tree_string
-from ..plan.planner import (PARTITIONING_SCHEMES, SKYLINE_STRATEGIES,
-                            Planner)
+from ..plan.physical import PhysicalPlan, physical_tree_string
+from ..plan.planner import Planner
 from ..sql.parser import parse_query
+from .config import SessionConfig
+
+#: Sentinel distinguishing "not passed" from every legitimate value of
+#: the deprecated constructor keywords.
+_UNSET = object()
 
 
-def _validate_vectorized(vectorized: "bool | str") -> None:
-    """Reject invalid ``vectorized`` flags (shared by the session
-    constructor and :meth:`SkylineSession.with_vectorized`).
-
-    Identity checks on purpose: ``1 == True`` would let the ints 1/0
-    slip past a membership test and then miss the ``is True`` NumPy
-    check below, silently requiring nothing.
-    """
-    if not (vectorized is True or vectorized is False
-            or vectorized == "auto"):
-        raise ValueError(
-            f"vectorized must be True, False or 'auto', "
-            f"got {vectorized!r}")
-    if vectorized is True and not numpy_available():
-        raise ValueError(
-            "vectorized=True requires NumPy (install the "
-            "'repro-skyline[numpy]' extra); use vectorized='auto' "
-            "to fall back to the pure-Python kernels")
-
-
-def _validate_columnar(columnar: "bool | str") -> None:
-    """Reject invalid ``columnar`` flags.
-
-    Unlike ``vectorized=True``, ``columnar=True`` is valid without
-    NumPy: the batch plane falls back to scalar-list columns and
-    per-row expression evaluation, producing identical results.
-    """
-    if not (columnar is True or columnar is False or columnar == "auto"):
-        raise ValueError(
-            f"columnar must be True, False or 'auto', got {columnar!r}")
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning, stacklevel=3)
 
 
 @dataclass
 class QueryResult:
-    """Rows plus the execution metrics the benchmarks consume."""
+    """Rows plus the execution metrics the benchmarks consume.
+
+    ``cache_hit`` and ``scheduler_wait_s`` are filled in by the serving
+    layer (:mod:`repro.serve`); for the plain single-session path they
+    keep their benign defaults (``False`` / ``0.0``) so benchmarks and
+    tests can always assert where time went.
+    """
 
     rows: list[Row]
     schema: Schema
     context: ExecutionContext
+    cache_hit: bool = False
+    scheduler_wait_s: float = 0.0
 
     @property
     def simulated_time_s(self) -> float:
@@ -86,11 +77,36 @@ class QueryResult:
         return [row.as_tuple() for row in self.rows]
 
 
+@dataclass
+class PreparedQuery:
+    """A logical plan lowered to an executable physical plan.
+
+    Produced by :meth:`SkylineSession.prepare` and consumed by
+    :meth:`SkylineSession.execute_prepared`; the serving layer's plan
+    cache stores these across sessions (the physical plan re-executes
+    against the *current* table rows, so catalog DML does not stale it
+    -- the plan-cache key still includes the catalog version so
+    statistics-driven decisions get refreshed).
+    """
+
+    physical: PhysicalPlan
+    schema: Schema
+    decisions: list
+    #: The optimized logical plan the physical plan was lowered from;
+    #: the serving layer's result cache inspects it for cacheable
+    #: skyline shapes.
+    optimized: "LogicalPlan | None" = None
+
+    @property
+    def is_skyline(self) -> bool:
+        return bool(self.decisions)
+
+
 class SkylineSession:
     """Entry point for SQL and DataFrame queries with skyline support.
 
-    >>> from repro import SkylineSession, DOUBLE, STRING
-    >>> session = SkylineSession(num_executors=2)
+    >>> import repro
+    >>> session = repro.connect(num_executors=2)
     >>> _ = session.create_table(
     ...     "hotels",
     ...     [("name", STRING, False), ("price", DOUBLE, False),
@@ -103,109 +119,77 @@ class SkylineSession:
 
     Parameters
     ----------
-    num_executors:
-        Simulated executor count (the paper's ``--num-executors``).
-    skyline_algorithm:
-        ``auto`` (Listing 8 selection), ``adaptive``/``cost-based``
-        (statistics-driven selection, see ``adaptive``), or an override
-        forcing one of ``distributed-complete``,
-        ``non-distributed-complete``, ``distributed-incomplete``,
-        ``sfs``.
-    adaptive:
-        Shorthand for ``skyline_algorithm="adaptive"``: the planner
-        consults cached table statistics (:mod:`repro.stats`) to choose
-        the algorithm, the local-stage partitioning scheme and the
-        partition count per query.  ``DataFrame.explain()`` reports the
-        decision together with the statistics that drove it.
-    skyline_partitioning:
-        Forces the local-stage partitioning scheme: ``keep`` (the
-        paper's default -- inherit the scan's partitioning), ``random``,
-        ``grid`` or ``angle``.  Applies to the distributed complete and
-        SFS strategies; used by the benchmarks to evaluate fixed
-        algorithm x partitioning combinations.
-    skyline_partitions:
-        Partition count used with a forced partitioning scheme
-        (default: ``num_executors``).
-    enable_skyline_optimizations:
-        Toggles the Section 5.4 optimizer rules (single-dimension rewrite
-        and skyline-through-join pushdown); on by default.
-    cluster_config:
-        Full cluster model override; ``num_executors`` wins if both given.
-    backend:
-        Execution backend for partition tasks: ``local`` (sequential,
-        default), ``thread`` (thread pool) or ``process`` (process pool
-        with true multi-core parallelism), or a pre-built
-        :class:`~repro.engine.backends.Backend` instance.  Orthogonal to
-        ``num_executors``, which drives the *simulated* cluster model.
-    num_workers:
-        Pool size for the thread/process backends (default: CPU count).
-    vectorized:
-        Kernel selection for the skyline operators: ``"auto"`` (the
-        default) runs the columnar NumPy kernels
-        (:mod:`repro.core.vectorized`) when NumPy is importable and the
-        pure-Python reference kernels otherwise; ``True`` requires
-        NumPy (raises otherwise); ``False`` forces the scalar kernels.
-        Results are identical either way -- per-partition data that
-        cannot be columnized (non-numeric dimensions, integers beyond
-        the float64-exact range) falls back to the scalar kernels
-        transparently.
-    columnar:
-        The batch data plane: with ``"auto"`` (the default, on when
-        NumPy is importable) or ``True``, scans columnize each
-        partition once into a
-        :class:`~repro.engine.batch.ColumnBatch` and filters,
-        projections and the skyline operators exchange batches,
-        evaluating expressions column-wise
-        (:meth:`~repro.engine.expressions.Expression.eval_batch`);
-        ``False`` keeps the row-at-a-time reference plane.  Results
-        are identical either way: expressions without an exact
-        vectorized form fall back to per-row evaluation inside the
-        batch, and ``columnar=True`` works without NumPy via
-        scalar-list columns.  ``EXPLAIN`` reports each operator's mode
-        (``[batch]``/``[row]``).  Set ``REPRO_DISABLE_COLUMNAR=1`` to
-        make ``"auto"`` resolve to off (CI's forced-row leg).
+    config:
+        A :class:`~repro.api.config.SessionConfig` carrying every
+        session-level knob; see its docstring for the field reference.
+        Defaults to ``SessionConfig()``.
+    catalog:
+        An existing :class:`~repro.engine.catalog.Catalog` to attach to
+        instead of creating a private one.  The serving layer uses this
+        to share one catalog (tables, statistics) across tenants.
+    legacy keyword arguments:
+        Every pre-1.1 constructor keyword (``num_executors``,
+        ``backend``, ``vectorized``, ``columnar``, ``adaptive``,
+        ``skyline_partitioning``, ...) is still accepted and folded
+        into the config, with a :class:`DeprecationWarning`.
     """
 
-    def __init__(self, num_executors: int = 2,
-                 skyline_algorithm: str = "auto",
-                 enable_skyline_optimizations: bool = True,
-                 cluster_config: ClusterConfig | None = None,
-                 backend: "str | Backend" = "local",
-                 num_workers: int | None = None,
-                 adaptive: bool = False,
-                 skyline_partitioning: str = "keep",
-                 skyline_partitions: int | None = None,
-                 vectorized: "bool | str" = "auto",
-                 columnar: "bool | str" = "auto") -> None:
-        if adaptive:
-            if skyline_algorithm not in ("auto", "adaptive"):
-                raise ValueError(
-                    "adaptive=True conflicts with skyline_algorithm="
-                    f"{skyline_algorithm!r}")
-            skyline_algorithm = "adaptive"
-        if skyline_algorithm not in SKYLINE_STRATEGIES:
-            raise ValueError(
-                f"unknown skyline_algorithm {skyline_algorithm!r}; expected "
-                f"one of {SKYLINE_STRATEGIES}")
-        if skyline_partitioning not in PARTITIONING_SCHEMES:
-            raise ValueError(
-                f"unknown skyline_partitioning {skyline_partitioning!r}; "
-                f"expected one of {PARTITIONING_SCHEMES}")
-        _validate_vectorized(vectorized)
-        _validate_columnar(columnar)
-        base = cluster_config or ClusterConfig()
-        self.cluster_config = replace(base, num_executors=num_executors)
-        self.vectorized = vectorized
-        self.columnar = columnar
-        self.skyline_algorithm = skyline_algorithm
-        self.skyline_partitioning = skyline_partitioning
-        self.skyline_partitions = skyline_partitions
-        self.enable_skyline_optimizations = enable_skyline_optimizations
-        self.catalog = Catalog()
-        self._time_budget_s: float | None = None
+    def __init__(self, num_executors=_UNSET,
+                 skyline_algorithm=_UNSET,
+                 enable_skyline_optimizations=_UNSET,
+                 cluster_config=_UNSET,
+                 backend=_UNSET,
+                 num_workers=_UNSET,
+                 adaptive=_UNSET,
+                 skyline_partitioning=_UNSET,
+                 skyline_partitions=_UNSET,
+                 vectorized=_UNSET,
+                 columnar=_UNSET, *,
+                 config: SessionConfig | None = None,
+                 catalog: Catalog | None = None) -> None:
+        legacy = {
+            name: value for name, value in (
+                ("num_executors", num_executors),
+                ("skyline_algorithm", skyline_algorithm),
+                ("enable_skyline_optimizations",
+                 enable_skyline_optimizations),
+                ("cluster_config", cluster_config),
+                ("backend", backend),
+                ("num_workers", num_workers),
+                ("adaptive", adaptive),
+                ("skyline_partitioning", skyline_partitioning),
+                ("skyline_partitions", skyline_partitions),
+                ("vectorized", vectorized),
+                ("columnar", columnar),
+            ) if value is not _UNSET}
+        if legacy:
+            warnings.warn(
+                f"passing {sorted(legacy)} to SkylineSession() is "
+                f"deprecated; pass SkylineSession(config="
+                f"SessionConfig(...)) or use repro.connect(...)",
+                DeprecationWarning, stacklevel=2)
+            config = (config or SessionConfig()).with_options(**legacy)
+        self._apply_config(config or SessionConfig())
+        self.catalog = catalog if catalog is not None else Catalog()
         # Validates the name eagerly; the pool itself is lazy.  Clones
         # share this spec by reference so at most one pool exists.
-        self._backend_spec = BackendSpec(backend, num_workers)
+        self._backend_spec = BackendSpec(self.config.backend,
+                                         self.config.num_workers)
+
+    def _apply_config(self, config: SessionConfig) -> None:
+        """Mirror the config onto the historical public attributes."""
+        self.config = config
+        base = config.cluster_config or ClusterConfig()
+        self.cluster_config = replace(
+            base, num_executors=config.num_executors)
+        self.vectorized = config.vectorized
+        self.columnar = config.columnar
+        self.skyline_algorithm = config.skyline_algorithm
+        self.skyline_partitioning = config.skyline_partitioning
+        self.skyline_partitions = config.skyline_partitions
+        self.enable_skyline_optimizations = \
+            config.enable_skyline_optimizations
+        self._time_budget_s: float | None = config.time_budget_s
 
     @property
     def adaptive(self) -> bool:
@@ -216,11 +200,13 @@ class SkylineSession:
     def vectorized_enabled(self) -> bool:
         """True when skyline queries run the columnar NumPy kernels.
 
-        >>> from repro import SkylineSession
-        >>> session = SkylineSession(vectorized=False)
+        >>> from repro import SessionConfig, SkylineSession
+        >>> session = SkylineSession(
+        ...     config=SessionConfig(vectorized=False))
         >>> session.vectorized_enabled
         False
         """
+        from ..core.vectorized import numpy_available
         if self.vectorized == "auto":
             return numpy_available()
         return bool(self.vectorized)
@@ -229,10 +215,14 @@ class SkylineSession:
     def columnar_enabled(self) -> bool:
         """True when query plans execute on the batch data plane.
 
-        >>> from repro import SkylineSession
-        >>> SkylineSession(columnar=False).columnar_enabled
+        >>> from repro import SessionConfig, SkylineSession
+        >>> SkylineSession(
+        ...     config=SessionConfig(columnar=False)).columnar_enabled
         False
         """
+        import os
+
+        from ..core.vectorized import numpy_available
         if self.columnar == "auto":
             if os.environ.get("REPRO_DISABLE_COLUMNAR"):
                 return False
@@ -258,69 +248,81 @@ class SkylineSession:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def with_executors(self, num_executors: int) -> "SkylineSession":
-        """A session sharing this catalog but with a different executor
-        count (cheap: catalogs -- and the backend spec, hence any worker
-        pool -- are shared by reference)."""
-        clone = SkylineSession(
-            num_executors=num_executors,
-            skyline_algorithm=self.skyline_algorithm,
-            enable_skyline_optimizations=self.enable_skyline_optimizations,
-            cluster_config=self.cluster_config,
-            skyline_partitioning=self.skyline_partitioning,
-            skyline_partitions=self.skyline_partitions,
-            vectorized=self.vectorized,
-            columnar=self.columnar)
-        clone.catalog = self.catalog
-        clone._time_budget_s = self._time_budget_s
-        clone._backend_spec = self._backend_spec
+    def with_options(self, **overrides) -> "SkylineSession":
+        """A session sharing this catalog but with config fields
+        replaced -- the one re-configuration entry point.
+
+        Cheap: the catalog -- and, unless ``backend``/``num_workers``
+        is overridden, the backend spec, hence any worker pool -- are
+        shared by reference with the original session.
+
+        >>> from repro import SkylineSession
+        >>> fast = SkylineSession().with_options(num_executors=8)
+        >>> fast.cluster_config.num_executors
+        8
+        """
+        new_backend = "backend" in overrides or "num_workers" in overrides
+        config = self.config.with_options(**overrides)
+        clone = SkylineSession(config=config, catalog=self.catalog)
+        if "time_budget_s" not in overrides:
+            # Preserve a budget installed via the set_time_budget
+            # mutator after construction.
+            clone._time_budget_s = self._time_budget_s
+        if not new_backend:
+            clone._backend_spec = self._backend_spec
         return clone
+
+    # -- deprecated builder shims ----------------------------------------
+
+    def with_executors(self, num_executors: int) -> "SkylineSession":
+        """Deprecated: use ``with_options(num_executors=...)``."""
+        _deprecated("with_executors()",
+                    "with_options(num_executors=...)")
+        return self.with_options(num_executors=num_executors)
 
     def with_backend(self, backend: "str | Backend",
                      num_workers: int | None = None) -> "SkylineSession":
-        """A session sharing this catalog but running on a different
-        execution backend (the original keeps its own)."""
-        clone = self.with_executors(self.cluster_config.num_executors)
-        clone._backend_spec = BackendSpec(backend, num_workers)
-        return clone
+        """Deprecated: use ``with_options(backend=...)``.
+
+        The clone gets its own backend spec; the original keeps its
+        pool.
+        """
+        _deprecated("with_backend()", "with_options(backend=...)")
+        return self.with_options(backend=backend, num_workers=num_workers)
 
     def with_skyline_algorithm(self, algorithm: str) -> "SkylineSession":
-        clone = self.with_executors(self.cluster_config.num_executors)
-        if algorithm not in SKYLINE_STRATEGIES:
-            raise ValueError(f"unknown skyline_algorithm {algorithm!r}")
-        clone.skyline_algorithm = algorithm
-        return clone
+        """Deprecated: use ``with_options(skyline_algorithm=...)``."""
+        _deprecated("with_skyline_algorithm()",
+                    "with_options(skyline_algorithm=...)")
+        return self.with_options(skyline_algorithm=algorithm)
 
     def with_vectorized(self, vectorized: "bool | str") -> "SkylineSession":
-        """A session sharing this catalog but with a different kernel
-        selection (``True`` / ``False`` / ``"auto"``)."""
-        _validate_vectorized(vectorized)
-        clone = self.with_executors(self.cluster_config.num_executors)
-        clone.vectorized = vectorized
-        return clone
+        """Deprecated: use ``with_options(vectorized=...)``."""
+        _deprecated("with_vectorized()", "with_options(vectorized=...)")
+        return self.with_options(vectorized=vectorized)
 
     def with_columnar(self, columnar: "bool | str") -> "SkylineSession":
-        """A session sharing this catalog but with a different data
-        plane (``True`` / ``False`` / ``"auto"``)."""
-        _validate_columnar(columnar)
-        clone = self.with_executors(self.cluster_config.num_executors)
-        clone.columnar = columnar
-        return clone
+        """Deprecated: use ``with_options(columnar=...)``."""
+        _deprecated("with_columnar()", "with_options(columnar=...)")
+        return self.with_options(columnar=columnar)
 
     def with_skyline_partitioning(self, scheme: str,
                                   num_partitions: int | None = None
                                   ) -> "SkylineSession":
-        """A session forcing a local-stage partitioning scheme."""
-        if scheme not in PARTITIONING_SCHEMES:
-            raise ValueError(f"unknown partitioning scheme {scheme!r}")
-        clone = self.with_executors(self.cluster_config.num_executors)
-        clone.skyline_partitioning = scheme
-        clone.skyline_partitions = num_partitions
-        return clone
+        """Deprecated: use ``with_options(skyline_partitioning=...)``."""
+        _deprecated("with_skyline_partitioning()",
+                    "with_options(skyline_partitioning=..., "
+                    "skyline_partitions=...)")
+        return self.with_options(skyline_partitioning=scheme,
+                                 skyline_partitions=num_partitions)
 
     def set_time_budget(self, seconds: float | None) -> None:
         """Per-query wall-clock budget; queries raise
-        :class:`~repro.errors.BenchmarkTimeout` beyond it."""
+        :class:`~repro.errors.BenchmarkTimeout` beyond it.
+
+        Equivalent to the ``time_budget_s`` config field; this mutator
+        is kept for callers that want to adjust the budget mid-flight.
+        """
         self._time_budget_s = seconds
 
     # -- catalog management ----------------------------------------------------
@@ -485,21 +487,47 @@ class SkylineSession:
         ctx = ExecutionContext(self.cluster_config, backend=self.backend)
         return QueryResult(rows=rows, schema=schema, context=ctx)
 
+    def prepare(self, plan: LogicalPlan) -> PreparedQuery:
+        """Run analysis, optimization, and physical planning only.
+
+        The returned :class:`PreparedQuery` can be executed repeatedly
+        via :meth:`execute_prepared`; the serving layer's plan cache
+        stores prepared queries across sessions with equal
+        :meth:`~repro.api.config.SessionConfig.fingerprint`.
+        """
+        analyzed = self.analyze(plan)
+        optimized = self.optimize(analyzed)
+        planner = self._planner()
+        physical = planner.plan(optimized)
+        schema = Schema([Field(a.name, a.dtype, a.nullable)
+                         for a in physical.output])
+        return PreparedQuery(physical=physical, schema=schema,
+                             decisions=planner.decisions,
+                             optimized=optimized)
+
+    def execute_prepared(self, prepared: PreparedQuery) -> QueryResult:
+        """Execute a prepared physical plan on a fresh context."""
+        ctx = ExecutionContext(self.cluster_config, backend=self.backend)
+        ctx.set_budget(self._time_budget_s)
+        rdd = prepared.physical.execute(ctx)
+        rows = [Row(values, prepared.schema) for values in rdd.collect()]
+        return QueryResult(rows=rows, schema=prepared.schema, context=ctx)
+
     def execute(self, plan: LogicalPlan) -> QueryResult:
         """Run the full pipeline on a logical plan."""
         command = self._run_command(plan)
         if command is not None:
             return command
-        analyzed = self.analyze(plan)
-        optimized = self.optimize(analyzed)
-        physical = self._planner().plan(optimized)
+        return self.execute_prepared(self.prepare(plan))
+
+    def cached_result(self, rows: list[Row],
+                      schema: Schema) -> QueryResult:
+        """A result carrying rows that were *not* produced by executing
+        a plan (the serving layer's cache hits): the context records no
+        stages, so its time and memory metrics are all zero."""
         ctx = ExecutionContext(self.cluster_config, backend=self.backend)
-        ctx.set_budget(self._time_budget_s)
-        rdd = physical.execute(ctx)
-        schema = Schema([Field(a.name, a.dtype, a.nullable)
-                         for a in physical.output])
-        rows = [Row(values, schema) for values in rdd.collect()]
-        return QueryResult(rows=rows, schema=schema, context=ctx)
+        return QueryResult(rows=rows, schema=schema, context=ctx,
+                           cache_hit=True)
 
     def explain(self, plan: LogicalPlan) -> str:
         """Analyzed, optimized and physical plans as a printable string.
@@ -529,3 +557,24 @@ class SkylineSession:
             sections.append("== Skyline Strategy ==")
             sections.extend(d.describe() for d in planner.decisions)
         return "\n".join(sections)
+
+
+def connect(config: SessionConfig | None = None,
+            **options) -> SkylineSession:
+    """Create a :class:`SkylineSession` -- the stable top-level entry
+    point (re-exported as :func:`repro.connect`).
+
+    Keyword arguments are :class:`~repro.api.config.SessionConfig`
+    fields; pass a pre-built config positionally instead (options then
+    override its fields).
+
+    >>> import repro
+    >>> repro.connect(num_executors=4).cluster_config.num_executors
+    4
+    >>> repro.connect(adaptive=True).skyline_algorithm
+    'adaptive'
+    """
+    config = config or SessionConfig()
+    if options:
+        config = config.with_options(**options)
+    return SkylineSession(config=config)

@@ -1,0 +1,184 @@
+"""Serving-layer benchmark: throughput scaling and cache effectiveness.
+
+Three measurements over one in-process :class:`~repro.serve.SkylineServer`:
+
+1. **Cache latency** -- one skyline query cold, then answered from the
+   result cache (exact preference set) and via containment re-filtering
+   (a subset preference set).  The CI gate asserts the cache-hit
+   speedup; the answers are verified bit-identical against a fresh
+   cache-less service first.
+2. **Throughput scaling** -- N concurrent clients (1/4/16) issue a
+   rotating mix of skyline queries over their own tenants through the
+   admission scheduler; reported as queries per second.
+3. **Cache ablation** -- the same mix with the result cache disabled,
+   so the report shows what the dominance-aware cache buys end to end.
+
+Run via ``python -m repro.bench --serving``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+from ..engine.types import DOUBLE, INTEGER
+from ..serve import CatalogService, SkylineServer
+
+#: The preference-set rotation the clients draw from: the full set
+#: first (populates the cache), then every two- and one-dimensional
+#: subset (all answerable from the full entry by containment).
+QUERY_MIX = (
+    "SELECT * FROM pts SKYLINE OF a MIN, b MIN, c MIN",
+    "SELECT * FROM pts SKYLINE OF a MIN, b MIN",
+    "SELECT * FROM pts SKYLINE OF b MIN, c MIN",
+    "SELECT * FROM pts SKYLINE OF a MIN, c MIN",
+    "SELECT * FROM pts SKYLINE OF a MIN",
+    "SELECT * FROM pts SKYLINE OF c MIN",
+)
+
+_COLUMNS = [("id", INTEGER, False), ("a", DOUBLE, False),
+            ("b", DOUBLE, False), ("c", DOUBLE, False)]
+
+
+def _make_rows(num_rows: int, seed: int = 7) -> list[tuple]:
+    rng = random.Random(seed)
+    return [(i, rng.uniform(0, 1000), rng.uniform(0, 1000),
+             rng.uniform(0, 1000)) for i in range(num_rows)]
+
+
+def _new_server(rows: list[tuple], *, max_inflight: int,
+                use_cache: bool = True) -> SkylineServer:
+    service = CatalogService()
+    service.result_cache_enabled = use_cache
+    server = SkylineServer(service, max_inflight=max_inflight)
+    server.tenant("default").session.create_table("pts", _COLUMNS, rows)
+    return server
+
+
+def _check_bit_identical(rows: list[tuple]) -> None:
+    """Cached subset answers must equal cold execution, row for row."""
+    cached = _new_server(rows, max_inflight=2)
+    cold = _new_server(rows, max_inflight=2, use_cache=False)
+
+    async def run(server: SkylineServer, sql: str) -> list[tuple]:
+        result = await server.execute("default", sql)
+        return sorted(result.as_tuples())
+
+    async def check() -> None:
+        await run(cached, QUERY_MIX[0])  # populate the cache
+        for sql in QUERY_MIX[1:]:
+            hot = await run(cached, sql)
+            ref = await run(cold, sql)
+            if hot != ref:
+                raise AssertionError(
+                    f"cache answer differs from cold execution for "
+                    f"{sql!r}: {len(hot)} vs {len(ref)} rows")
+
+    asyncio.run(check())
+
+
+def _measure_latencies(rows: list[tuple], repeats: int = 3) -> dict:
+    server = _new_server(rows, max_inflight=2)
+
+    async def timed(sql: str) -> "tuple[float, bool, int]":
+        start = time.perf_counter()
+        result = await server.execute("default", sql)
+        return (time.perf_counter() - start, result.cache_hit,
+                len(result.rows))
+
+    async def run() -> dict:
+        cold_s, hit, skyline_rows = await timed(QUERY_MIX[0])
+        assert not hit
+        exact = min([(await timed(QUERY_MIX[0]))[0]
+                     for _ in range(repeats)])
+        refilter = min([(await timed(QUERY_MIX[1]))[0]
+                        for _ in range(repeats)])
+        cached_s = max(exact, refilter)
+        return {
+            "cold_latency_s": cold_s,
+            "exact_hit_latency_s": exact,
+            "refilter_hit_latency_s": refilter,
+            "cache_speedup": cold_s / cached_s if cached_s > 0
+            else float("inf"),
+            "skyline_rows": skyline_rows,
+        }
+
+    return asyncio.run(run())
+
+
+def _measure_qps(rows: list[tuple], clients: int,
+                 queries_per_client: int, *, use_cache: bool,
+                 max_inflight: int) -> dict:
+    server = _new_server(rows, max_inflight=max_inflight,
+                         use_cache=use_cache)
+
+    async def client(name: str, offset: int) -> None:
+        for i in range(queries_per_client):
+            sql = QUERY_MIX[(offset + i) % len(QUERY_MIX)]
+            await server.execute(name, sql)
+
+    async def run() -> float:
+        start = time.perf_counter()
+        await asyncio.gather(*(client(f"tenant-{c}", c)
+                               for c in range(clients)))
+        return time.perf_counter() - start
+
+    wall_s = asyncio.run(run())
+    total = clients * queries_per_client
+    return {
+        "clients": clients,
+        "queries": total,
+        "wall_s": wall_s,
+        "qps": total / wall_s if wall_s > 0 else float("inf"),
+        "use_cache": use_cache,
+        "scheduler": server.scheduler.stats.as_dict(),
+        "cache": server.service.result_cache.stats.as_dict(),
+    }
+
+
+def run_serving_bench(num_rows: int = 6000,
+                      client_counts: "tuple[int, ...]" = (1, 4, 16),
+                      queries_per_client: int = 12,
+                      max_inflight: int = 4) -> dict:
+    """The full serving benchmark; returns the ``BENCH_serving`` report."""
+    rows = _make_rows(num_rows)
+    _check_bit_identical(rows)
+    report: dict = {"num_rows": num_rows,
+                    "queries_per_client": queries_per_client,
+                    "max_inflight": max_inflight,
+                    "bit_identical": True}
+    report.update(_measure_latencies(rows))
+    report["qps"] = [
+        _measure_qps(rows, clients, queries_per_client,
+                     use_cache=True, max_inflight=max_inflight)
+        for clients in client_counts]
+    report["qps_no_cache"] = [
+        _measure_qps(rows, clients, queries_per_client,
+                     use_cache=False, max_inflight=max_inflight)
+        for clients in client_counts]
+    return report
+
+
+def render_serving_report(report: dict) -> str:
+    lines = [
+        "serving benchmark "
+        f"({report['num_rows']} rows, skyline "
+        f"{report['skyline_rows']} rows, max_inflight "
+        f"{report['max_inflight']})",
+        f"  cold latency        {report['cold_latency_s'] * 1e3:8.2f} ms",
+        f"  exact cache hit     "
+        f"{report['exact_hit_latency_s'] * 1e3:8.2f} ms",
+        f"  refilter cache hit  "
+        f"{report['refilter_hit_latency_s'] * 1e3:8.2f} ms",
+        f"  cache-hit speedup   {report['cache_speedup']:8.1f} x",
+        "",
+        "  clients   qps(cached)   qps(no cache)   gain",
+    ]
+    for cached, baseline in zip(report["qps"], report["qps_no_cache"]):
+        gain = cached["qps"] / baseline["qps"] if baseline["qps"] > 0 \
+            else float("inf")
+        lines.append(f"  {cached['clients']:>7}   "
+                     f"{cached['qps']:>11.1f}   "
+                     f"{baseline['qps']:>13.1f}   {gain:>5.1f}x")
+    return "\n".join(lines)

@@ -175,6 +175,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--min-col-speedup", type=float, default=None,
                         help="fail unless the best end-to-end columnar "
                              "speedup reaches this factor")
+    parser.add_argument("--serving", action="store_true",
+                        help="benchmark the multi-tenant serving layer "
+                             "(qps at 1/4/16 clients, result-cache "
+                             "latency) and emit BENCH_serving.json")
+    parser.add_argument("--min-cache-speedup", type=float, default=None,
+                        help="fail unless the result-cache hit speedup "
+                             "reaches this factor")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="size multiplier for the adaptive mix")
     parser.add_argument("--rows", type=int, default=None,
@@ -188,9 +195,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "this factor (use on multi-core CI runners)")
     args = parser.parse_args(argv)
     if not (args.smoke or args.speedup or args.adaptive
-            or args.vectorized or args.columnar):
+            or args.vectorized or args.columnar or args.serving):
         parser.error("nothing to do: pass --smoke, --speedup, "
-                     "--adaptive, --vectorized and/or --columnar")
+                     "--adaptive, --vectorized, --columnar and/or "
+                     "--serving")
 
     status = 0
     if args.smoke:
@@ -250,5 +258,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"FAIL: best end-to-end columnar speedup below "
                   f"required {args.min_col_speedup:.2f}x",
                   file=sys.stderr)
+            status = 1
+    if args.serving:
+        from .serving import render_serving_report, run_serving_bench
+        report = run_serving_bench(num_rows=args.rows or 6000)
+        with open("BENCH_serving.json", "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(render_serving_report(report))
+        if args.min_cache_speedup is not None and \
+                report["cache_speedup"] < args.min_cache_speedup:
+            print(f"FAIL: cache-hit speedup below required "
+                  f"{args.min_cache_speedup:.2f}x", file=sys.stderr)
             status = 1
     return status

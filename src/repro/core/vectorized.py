@@ -889,3 +889,36 @@ def prune_dominated_cells_vec(cells: dict[tuple, list]) -> dict[tuple, list]:
     dominated = strictly_less.any(axis=0)
     return {coord: cells[coord]
             for coord, dead in zip(coordinates, dominated) if not dead}
+
+
+# ---------------------------------------------------------------------------
+# Dominance re-filter (serving-layer result cache)
+# ---------------------------------------------------------------------------
+
+
+def vec_dominated_mask(rows: Sequence[Sequence],
+                       by_rows: Sequence[Sequence],
+                       dims: Sequence[BoundDimension]
+                       ) -> "list[bool] | None":
+    """Per-row mask: is ``rows[i]`` dominated by *some* row of
+    ``by_rows`` (complete-data semantics)?
+
+    The serving layer's dominance-aware result cache answers a
+    subset-preference query by filtering the base table against a small
+    cached skyline; this is that filter's vectorized kernel.  Returns
+    ``None`` when the data cannot be columnized faithfully (NumPy
+    missing, non-numeric dimensions, DIFF dimensions, nulls) -- callers
+    then fall back to the scalar :func:`~repro.core.dominance.dominates`
+    loop, which is always exact.
+    """
+    if np is None or any(d.is_diff for d in dims):
+        return None
+    cand = columnize(rows, dims)
+    by = columnize(by_rows, dims)
+    if cand is None or by is None:
+        return None
+    if cand.null_mask.any() or by.null_mask.any():
+        # Nulls demand the incomplete semantics; the cache never stores
+        # nullable preference sets, so just refuse.
+        return None
+    return _dominated_by(cand.values, by.values).tolist()

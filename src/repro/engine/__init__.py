@@ -1,9 +1,10 @@
 """The engine substrate: types, rows, expressions, RDDs, cluster, catalog."""
 
 from .backends import (BACKEND_NAMES, Backend, LocalBackend, ProcessBackend,
-                       StageTask, ThreadBackend, create_backend)
+                       SharedBackend, StageTask, ThreadBackend,
+                       create_backend)
 from .batch import Column, ColumnBatch, encode_numeric_column
-from .catalog import Catalog, ForeignKey, Table
+from .catalog import Catalog, CatalogEvent, ForeignKey, Table
 from .cluster import ClusterConfig, ExecutionContext
 from .rdd import RDD, BatchRDD, stable_hash
 from .row import Field, Row, Schema, infer_schema
@@ -18,11 +19,13 @@ __all__ = [
     "BatchRDD",
     "BooleanType",
     "Catalog",
+    "CatalogEvent",
     "ClusterConfig",
     "Column",
     "ColumnBatch",
     "LocalBackend",
     "ProcessBackend",
+    "SharedBackend",
     "StageTask",
     "ThreadBackend",
     "create_backend",

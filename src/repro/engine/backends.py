@@ -234,6 +234,42 @@ class ProcessBackend(_PooledBackend):
         return outcomes
 
 
+class SharedBackend(Backend):
+    """A backend wrapper shared across many sessions (the serving
+    layer's tenants).
+
+    Tenant sessions receive the *same* worker pool instead of one pool
+    per session, but a tenant calling ``close()`` (or using the session
+    as a context manager) must not tear the shared pool down under the
+    other tenants -- so ``close`` is a no-op here and the owning server
+    calls :meth:`close_shared` on shutdown.
+    """
+
+    def __init__(self, inner: Backend) -> None:
+        self.inner = inner
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    @property
+    def num_workers(self) -> int | None:
+        return getattr(self.inner, "num_workers", None)
+
+    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
+        return self.inner.run_stage(tasks)
+
+    def close(self) -> None:
+        """No-op: the pool is shared; see :meth:`close_shared`."""
+
+    def close_shared(self) -> None:
+        """Shut down the wrapped backend's pool (owner only)."""
+        self.inner.close()
+
+    def __repr__(self) -> str:
+        return f"SharedBackend({self.inner!r})"
+
+
 @dataclass
 class BackendSpec:
     """Declarative backend selection, resolved lazily.

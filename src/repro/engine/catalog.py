@@ -6,13 +6,28 @@ metadata (primary/foreign keys) which the optimizer's non-reductive-join
 rule consults (Section 5.4).  The catalog also owns the statistics cache
 (:class:`~repro.stats.store.StatsStore`): per-table statistics are
 collected lazily on first use and invalidated when a table is
-re-registered or dropped.
+re-registered, dropped, or mutated through the DML entry points.
+
+For the serving layer the catalog additionally provides:
+
+* **DML deltas** -- :meth:`Catalog.insert_into` / :meth:`Catalog.delete_from`
+  mutate a registered table's row list *in place*, so physical plans
+  that captured the list by reference (scans, prepared queries) see the
+  new data without replanning.
+* **Change notification** -- listeners registered via
+  :meth:`Catalog.add_listener` receive one :class:`CatalogEvent` per
+  mutation; the dominance-aware result cache
+  (:class:`repro.serve.cache.SkylineResultCache`) uses the delta rows
+  carried by insert/delete events to invalidate *incrementally* instead
+  of dropping everything on any write.
+* **A version counter** -- bumped on every mutation; cross-session plan
+  caches key on it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..errors import AnalysisError
 from .row import Schema
@@ -57,15 +72,57 @@ class Table:
         return len(self.rows)
 
 
+@dataclass(frozen=True)
+class CatalogEvent:
+    """One catalog mutation, as delivered to registered listeners.
+
+    ``kind`` is ``"register"``, ``"drop"``, ``"insert"`` or
+    ``"delete"``; for the DML kinds ``rows`` carries the delta (the
+    rows inserted / actually deleted), which is what makes incremental
+    cache invalidation possible.  ``version`` is the catalog version
+    *after* the mutation, so listeners can tag derived state.
+    """
+
+    kind: str
+    table: str
+    rows: tuple = ()
+    version: int = 0
+
+
 class Catalog:
     """A case-insensitive registry of tables."""
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self._listeners: list[Callable[[CatalogEvent], None]] = []
+        #: Bumped on every mutation (register/drop/insert/delete);
+        #: cross-session plan caches key on it.
+        self.version: int = 0
         # Imported lazily at class-definition time would be circular;
         # the stats package only depends on repro.core.
         from ..stats import StatsStore
         self.stats = StatsStore()
+
+    # -- change notification ----------------------------------------------
+
+    def add_listener(self, listener: Callable[[CatalogEvent], None]
+                     ) -> None:
+        """Register a callable invoked synchronously on every mutation."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[CatalogEvent], None]
+                        ) -> None:
+        self._listeners = [ln for ln in self._listeners
+                           if ln is not listener]
+
+    def _notify(self, kind: str, table: str, rows: Sequence[tuple] = ()
+                ) -> None:
+        self.version += 1
+        if self._listeners:
+            event = CatalogEvent(kind, table.lower(), tuple(rows),
+                                 self.version)
+            for listener in self._listeners:
+                listener(event)
 
     def register(self, table: Table, replace: bool = True) -> None:
         key = table.name.lower()
@@ -73,6 +130,7 @@ class Catalog:
             raise AnalysisError(f"table {table.name!r} already exists")
         self._tables[key] = table
         self.stats.invalidate(key)
+        self._notify("register", key)
 
     def create_table(self, name: str, schema: Schema,
                      rows: Iterable[tuple],
@@ -96,11 +154,76 @@ class Catalog:
         return name.lower() in self._tables
 
     def drop(self, name: str) -> None:
-        self._tables.pop(name.lower(), None)
+        existed = self._tables.pop(name.lower(), None)
         self.stats.invalidate(name)
+        if existed is not None:
+            self._notify("drop", name)
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    # -- DML deltas -------------------------------------------------------
+
+    def insert_into(self, name: str, rows: Iterable[tuple]) -> int:
+        """Append rows to a registered table, in place.
+
+        Physical plans holding the table's row list by reference see
+        the new rows immediately; statistics are invalidated and
+        listeners receive an ``insert`` event carrying the delta.
+        Returns the number of rows inserted.
+        """
+        table = self.lookup(name)
+        width = len(table.schema)
+        inserted = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise AnalysisError(
+                    f"row width {len(row)} does not match schema width "
+                    f"{width} for table {table.name!r}")
+            for value, column in zip(row, table.schema):
+                if value is None and not column.nullable:
+                    raise AnalysisError(
+                        f"NULL in NOT NULL column {column.name!r} of "
+                        f"table {table.name!r}")
+            inserted.append(row)
+        table.rows.extend(inserted)
+        self.stats.invalidate(name)
+        self._notify("insert", name, inserted)
+        return len(inserted)
+
+    def delete_from(self, name: str,
+                    rows: Iterable[tuple] | None = None,
+                    predicate: Callable[[tuple], bool] | None = None
+                    ) -> int:
+        """Delete rows from a registered table, in place.
+
+        Exactly one of ``rows`` (each listed tuple removed once, by
+        value) or ``predicate`` (every matching row removed) must be
+        given.  Listeners receive a ``delete`` event carrying the rows
+        that were actually removed; returns their count.
+        """
+        if (rows is None) == (predicate is None):
+            raise ValueError("pass exactly one of rows= or predicate=")
+        table = self.lookup(name)
+        removed: list[tuple] = []
+        if predicate is not None:
+            kept = []
+            for row in table.rows:
+                (removed if predicate(row) else kept).append(row)
+            table.rows[:] = kept
+        else:
+            for target in rows:
+                target = tuple(target)
+                try:
+                    table.rows.remove(target)
+                except ValueError:
+                    continue
+                removed.append(target)
+        if removed:
+            self.stats.invalidate(name)
+            self._notify("delete", name, removed)
+        return len(removed)
 
     def statistics(self, name: str, refresh: bool = False):
         """Statistics for table ``name``, collected lazily and cached.

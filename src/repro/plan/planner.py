@@ -87,6 +87,19 @@ class Planner:
         #: One entry per planned skyline operator, in plan order.
         self.decisions: list = []
 
+    def settings_key(self) -> tuple:
+        """Hashable snapshot of every planning-relevant setting.
+
+        Two planners with equal keys (over the same catalog state)
+        lower identical logical plans to identical physical plans --
+        the contract the serving layer's cross-session plan cache
+        relies on (its full key adds the catalog version, which covers
+        the statistics feeding the adaptive strategy).
+        """
+        return (self.skyline_strategy, self.num_executors,
+                self.max_workers, self.partitioning, self.num_partitions,
+                self.vectorized, self.columnar)
+
     # -- entry point ------------------------------------------------------
 
     def plan(self, node: L.LogicalPlan) -> P.PhysicalPlan:

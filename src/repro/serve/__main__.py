@@ -1,0 +1,72 @@
+"""``python -m repro.serve`` -- boot the serving endpoint.
+
+Example::
+
+    python -m repro.serve --port 7878 --max-inflight 8 --demo
+
+``--demo`` registers a small ``hotels`` table so a fresh server has
+something to query; ``--port 0`` (the default) picks a free port and
+prints it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from ..engine.types import DOUBLE, STRING
+from .app import SkylineServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Multi-tenant skyline query server (JSON lines over "
+                    "TCP).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one)")
+    parser.add_argument("--max-inflight", type=int, default=4,
+                        help="bound on concurrently executing queries")
+    parser.add_argument("--demo", action="store_true",
+                        help="pre-register a demo 'hotels' table")
+    return parser
+
+
+def load_demo(server: SkylineServer) -> None:
+    session = server.tenant("default").session
+    session.create_table(
+        "hotels",
+        [("name", STRING, False), ("price", DOUBLE, False),
+         ("rating", DOUBLE, False), ("distance", DOUBLE, False)],
+        [("A", 120.0, 4.5, 2.0), ("B", 90.0, 4.0, 5.5),
+         ("C", 150.0, 3.0, 1.0), ("D", 85.0, 3.5, 6.0),
+         ("E", 200.0, 5.0, 0.5)])
+
+
+async def amain(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    server = SkylineServer(host=args.host, port=args.port,
+                           max_inflight=args.max_inflight)
+    if args.demo:
+        load_demo(server)
+    host, port = await server.start()
+    print(f"repro.serve listening on {host}:{port}", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    try:
+        return asyncio.run(amain(argv))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Shared catalog, plan cache, and backend pool for multi-tenant serving.
+
+Historically every :class:`~repro.api.session.SkylineSession` owned its
+catalog, statistics store, and worker pool.  A server hosting many
+tenants wants the opposite: **one** catalog (so statistics are
+collected once and DML is visible to everyone), **one** worker pool per
+backend flavour (so 16 tenants do not spawn 16 process pools), and a
+cross-session cache of prepared plans and skyline results.
+:class:`CatalogService` owns all of that; tenant sessions from
+:meth:`session_for` are thin views over the shared state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..api.config import SessionConfig
+from ..api.session import PreparedQuery, QueryResult, SkylineSession
+from ..engine.backends import BackendSpec, SharedBackend, create_backend
+from ..engine.catalog import Catalog
+from ..engine.row import Row
+from ..plan.logical import AnalyzeTable
+from .cache import CacheableShape, SkylineResultCache, cacheable_shape
+
+
+class CatalogService:
+    """Shared engine state behind a serving endpoint.
+
+    Thread-safe for the server's usage: queries run concurrently on a
+    thread pool, DML is serialised by :attr:`write_lock`, and the plan
+    and result caches take their own locks.
+    """
+
+    def __init__(self, catalog: "Catalog | None" = None, *,
+                 plan_cache_size: int = 128,
+                 result_cache_size: int = 64) -> None:
+        if plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.result_cache = SkylineResultCache(result_cache_size)
+        self.catalog.add_listener(self.result_cache.on_catalog_event)
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._plan_lock = threading.Lock()
+        self._backends: "dict[tuple, SharedBackend]" = {}
+        self._backend_lock = threading.Lock()
+        #: Serialises catalog DML (queries read without locking; under
+        #: CPython the in-place list mutations the catalog performs are
+        #: safe against concurrent iteration of a snapshot length).
+        self.write_lock = threading.Lock()
+        #: Ablation switch: with the result cache off every query
+        #: executes the full plan (the benchmark's baseline).
+        self.result_cache_enabled = True
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+    # -- tenants ----------------------------------------------------------
+
+    def shared_backend(self, config: SessionConfig) -> SharedBackend:
+        """The process-wide backend for ``config``'s flavour."""
+        key = (config.backend, config.num_workers)
+        with self._backend_lock:
+            backend = self._backends.get(key)
+            if backend is None:
+                backend = SharedBackend(
+                    create_backend(config.backend, config.num_workers))
+                self._backends[key] = backend
+            return backend
+
+    def session_for(self, config: "SessionConfig | None" = None,
+                    **options) -> SkylineSession:
+        """A tenant session over the shared catalog and worker pool."""
+        config = config if config is not None else SessionConfig()
+        if options:
+            config = config.with_options(**options)
+        session = SkylineSession(config=config, catalog=self.catalog)
+        session._backend_spec = BackendSpec(self.shared_backend(config))
+        return session
+
+    # -- the serving execution path ---------------------------------------
+
+    def _plan_key(self, session: SkylineSession, sql: str) -> tuple:
+        return (session._planner().settings_key(),
+                session.enable_skyline_optimizations,
+                sql, self.catalog.version)
+
+    def _prepared(self, session: SkylineSession, sql: str, key: tuple
+                  ) -> "tuple[PreparedQuery, CacheableShape | None] | None":
+        """Prepare ``sql`` through the plan cache.
+
+        Returns ``None`` for command statements (``ANALYZE TABLE``),
+        which bypass the planner and the caches.
+        """
+        plan = session.sql(sql).plan
+        if isinstance(plan, AnalyzeTable):
+            return None
+        prepared = session.prepare(plan)
+        shape = cacheable_shape(prepared.optimized)
+        with self._plan_lock:
+            self.plan_misses += 1
+            self._plan_cache[key] = (prepared, shape)
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return prepared, shape
+
+    def execute(self, session: SkylineSession, sql: str) -> QueryResult:
+        """Parse and run ``sql`` for a tenant, through the caches.
+
+        The plan cache is consulted *before* parsing (its key is the
+        SQL text plus the session's planning settings and the catalog
+        version), so a hot query's latency is the result-cache lookup
+        alone.  Cache-hit answers come back with ``cache_hit=True`` and
+        zero simulated cost; everything else executes normally and,
+        when the plan has the cacheable skyline shape, feeds the result
+        cache.
+        """
+        key = self._plan_key(session, sql)
+        with self._plan_lock:
+            hit = self._plan_cache.get(key)
+            if hit is not None:
+                self._plan_cache.move_to_end(key)
+                self.plan_hits += 1
+        if hit is None:
+            entry = self._prepared(session, sql, key)
+            if entry is None:
+                return session.execute(session.sql(sql).plan)
+            prepared, shape = entry
+        else:
+            prepared, shape = hit
+        if not self.result_cache_enabled:
+            shape = None
+        if shape is not None:
+            table_rows = self.catalog.lookup(shape.table).rows
+            cached = self.result_cache.lookup(shape, list(table_rows),
+                                              self.catalog.version)
+            if cached is not None:
+                rows = [Row(values, prepared.schema) for values in cached]
+                return session.cached_result(rows, prepared.schema)
+        version = self.catalog.version
+        result = session.execute_prepared(prepared)
+        if shape is not None and self.catalog.version == version:
+            self.result_cache.store(
+                shape, [row.as_tuple() for row in result.rows],
+                prepared.schema,
+                table_rows=list(self.catalog.lookup(shape.table).rows),
+                version=version)
+        return result
+
+    # -- lifecycle --------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._plan_lock:
+            plan = {"hits": self.plan_hits, "misses": self.plan_misses,
+                    "entries": len(self._plan_cache)}
+        return {"catalog_version": self.catalog.version,
+                "tables": self.catalog.table_names(),
+                "plan_cache": plan,
+                "result_cache": self.result_cache.stats.as_dict()}
+
+    def close(self) -> None:
+        """Shut down the shared worker pools (server shutdown only)."""
+        with self._backend_lock:
+            for backend in self._backends.values():
+                backend.close_shared()
+            self._backends.clear()

@@ -1,0 +1,124 @@
+"""Admission control for the serving layer.
+
+The server executes engine work on a thread pool; admitting every
+connection at once would let one chatty tenant monopolise the workers
+and thrash the shared caches.  :class:`AdmissionScheduler` bounds the
+number of in-flight queries and, when there is a queue, drains it
+round-robin *across tenants* (FIFO within a tenant): a tenant issuing
+100 queries cannot starve one issuing a single query.
+
+The scheduler is event-loop-local: every method must be called from
+the loop's thread (the server does), so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SchedulerStats:
+    """Counters the server's ``stats`` op reports."""
+
+    admitted: int = 0
+    queued: int = 0
+    max_queue_depth: int = 0
+    total_wait_s: float = 0.0
+    per_tenant: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"admitted": self.admitted, "queued": self.queued,
+                "max_queue_depth": self.max_queue_depth,
+                "total_wait_s": self.total_wait_s,
+                "per_tenant": dict(self.per_tenant)}
+
+
+class AdmissionScheduler:
+    """Bounded in-flight slots with per-tenant round-robin fairness."""
+
+    def __init__(self, max_inflight: int = 4) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self._queues: "dict[str, deque[asyncio.Future]]" = {}
+        self._ring: "deque[str]" = deque()
+        self.stats = SchedulerStats()
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    async def admit(self, tenant: str) -> float:
+        """Wait for a slot; returns the time spent queued (seconds).
+
+        Admission is immediate when a slot is free *and* nobody is
+        queued (late arrivals must not overtake waiting tenants).
+        """
+        self.stats.admitted += 1
+        self.stats.per_tenant[tenant] = \
+            self.stats.per_tenant.get(tenant, 0) + 1
+        if self._inflight < self.max_inflight and self.queue_depth == 0:
+            self._inflight += 1
+            return 0.0
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+            self._ring.append(tenant)
+        queue.append(future)
+        self.stats.queued += 1
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth,
+                                         self.queue_depth)
+        start = loop.time()
+        try:
+            await future
+        except asyncio.CancelledError:
+            # The waiter was cancelled (client gone).  If the slot was
+            # already granted, hand it on; otherwise drop the request.
+            if future.done() and not future.cancelled():
+                self._inflight -= 1
+                self._dispatch()
+            else:
+                try:
+                    queue.remove(future)
+                except ValueError:
+                    pass
+            raise
+        waited = loop.time() - start
+        self.stats.total_wait_s += waited
+        return waited
+
+    def release(self) -> None:
+        """Return a slot and hand it to the next waiter, if any."""
+        if self._inflight <= 0:
+            raise RuntimeError("release() without a matching admit()")
+        self._inflight -= 1
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._inflight < self.max_inflight:
+            future = self._next_waiter()
+            if future is None:
+                return
+            self._inflight += 1
+            future.set_result(None)
+
+    def _next_waiter(self) -> "asyncio.Future | None":
+        """Round-robin over tenants with queued work, FIFO within."""
+        for _ in range(len(self._ring)):
+            tenant = self._ring[0]
+            self._ring.rotate(-1)
+            queue = self._queues.get(tenant)
+            while queue:
+                future = queue.popleft()
+                if not future.done():
+                    return future
+        return None

@@ -1,0 +1,172 @@
+"""SessionConfig, repro.connect, and the deprecation shims."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import SessionConfig, SkylineSession
+from repro.errors import BenchmarkTimeout
+
+
+class TestSessionConfig:
+    def test_defaults(self):
+        config = SessionConfig()
+        assert config.num_executors == 2
+        assert config.skyline_algorithm == "auto"
+        assert config.adaptive is False
+        assert config.backend == "local"
+        assert config.time_budget_s is None
+
+    def test_frozen(self):
+        config = SessionConfig()
+        with pytest.raises(AttributeError):
+            config.num_executors = 4
+
+    def test_validation_num_executors(self):
+        with pytest.raises(ValueError):
+            SessionConfig(num_executors=0)
+
+    def test_validation_algorithm(self):
+        with pytest.raises(ValueError):
+            SessionConfig(skyline_algorithm="nope")
+
+    def test_validation_partitioning(self):
+        with pytest.raises(ValueError):
+            SessionConfig(skyline_partitioning="zigzag")
+
+    def test_validation_backend(self):
+        with pytest.raises(ValueError):
+            SessionConfig(backend="gpu")
+
+    def test_validation_vectorized_rejects_ints(self):
+        with pytest.raises(ValueError):
+            SessionConfig(vectorized=1)
+
+    def test_adaptive_normalisation(self):
+        assert SessionConfig(adaptive=True).skyline_algorithm == "adaptive"
+        assert SessionConfig(
+            skyline_algorithm="adaptive").adaptive is True
+
+    def test_adaptive_conflict(self):
+        with pytest.raises(ValueError):
+            SessionConfig(adaptive=True, skyline_algorithm="sfs")
+
+    def test_with_options(self):
+        config = SessionConfig().with_options(backend="thread",
+                                              num_workers=2)
+        assert config.backend == "thread"
+        assert config.num_workers == 2
+        # the original is untouched
+        assert SessionConfig().backend == "local"
+
+    def test_with_options_unknown_name(self):
+        with pytest.raises(TypeError, match="unknown session option"):
+            SessionConfig().with_options(executors=4)
+
+    def test_with_options_clears_adaptive(self):
+        config = SessionConfig(adaptive=True).with_options(
+            skyline_algorithm="sfs")
+        assert config.adaptive is False
+        assert config.skyline_algorithm == "sfs"
+
+    def test_fingerprint_hashable_and_sensitive(self):
+        a = SessionConfig().fingerprint()
+        b = SessionConfig(num_executors=5).fingerprint()
+        assert hash(a) != hash(b) or a != b
+        assert a == SessionConfig().fingerprint()
+
+    def test_as_dict_is_jsonable(self):
+        import json
+        json.dumps(SessionConfig().as_dict())
+
+
+class TestConnect:
+    def test_connect_returns_session(self):
+        session = repro.connect()
+        assert isinstance(session, SkylineSession)
+
+    def test_connect_with_options(self):
+        session = repro.connect(num_executors=5, vectorized=False)
+        assert session.config.num_executors == 5
+        assert session.cluster_config.num_executors == 5
+
+    def test_connect_with_config(self):
+        config = SessionConfig(skyline_algorithm="sfs")
+        session = repro.connect(config=config)
+        assert session.skyline_algorithm == "sfs"
+
+    def test_connect_emits_no_warnings(self, recwarn):
+        repro.connect(num_executors=3)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_all_exports(self):
+        for name in ("connect", "SessionConfig", "SkylineSession",
+                     "QueryResult", "DataFrame", "AnalysisError",
+                     "ParseError", "ExecutionError"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_time_budget_config_field(self):
+        session = repro.connect(time_budget_s=0.0)
+        session.create_table("t", [("x", repro.INTEGER, False)],
+                             [(i,) for i in range(100)])
+        with pytest.raises(BenchmarkTimeout):
+            session.sql("SELECT * FROM t SKYLINE OF x MIN").collect()
+
+
+class TestDeprecatedSurface:
+    def test_legacy_kwargs_warn_but_work(self):
+        with pytest.warns(DeprecationWarning):
+            session = SkylineSession(num_executors=7)
+        assert session.cluster_config.num_executors == 7
+
+    def test_config_and_kwargs_merge(self):
+        # Legacy kwargs layered on an explicit config still warn, and
+        # the kwarg wins (it is the more specific request).
+        with pytest.warns(DeprecationWarning):
+            session = SkylineSession(num_executors=3,
+                                     config=SessionConfig())
+        assert session.config.num_executors == 3
+
+    @pytest.mark.parametrize("method,args,attr,expected", [
+        ("with_executors", (6,), None, None),
+        ("with_backend", ("thread",), None, None),
+        ("with_skyline_algorithm", ("sfs",), "skyline_algorithm", "sfs"),
+        ("with_vectorized", (False,), "vectorized", False),
+        ("with_columnar", (False,), "columnar", False),
+        ("with_skyline_partitioning", ("random", 4),
+         "skyline_partitioning", "random"),
+    ])
+    def test_builders_warn_and_delegate(self, method, args, attr,
+                                        expected):
+        session = repro.connect()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            derived = getattr(session, method)(*args)
+        assert isinstance(derived, SkylineSession)
+        assert derived is not session
+        if attr is not None:
+            assert getattr(derived, attr) == expected
+
+    def test_with_options_no_warning(self, recwarn):
+        session = repro.connect().with_options(skyline_algorithm="sfs")
+        assert session.skyline_algorithm == "sfs"
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_with_options_shares_catalog(self):
+        base = repro.connect()
+        base.create_table("t", [("x", repro.INTEGER, False)], [(1,)])
+        derived = base.with_options(num_executors=4)
+        assert derived.catalog is base.catalog
+        assert derived.sql("SELECT * FROM t").collect()
+
+
+class TestQueryResultFields:
+    def test_benign_defaults(self, hotels_session):
+        result = hotels_session.sql(
+            "SELECT * FROM hotels SKYLINE OF price MIN, rating MAX"
+        ).run()
+        assert result.cache_hit is False
+        assert result.scheduler_wait_s == 0.0

@@ -1,0 +1,316 @@
+"""The dominance-aware result cache: shapes, containment, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DOUBLE, INTEGER
+from repro.core import BoundDimension, DimensionKind
+from repro.serve import CatalogService, SkylineResultCache, cacheable_shape
+
+from tests.conftest import skyline_oracle
+
+POINTS = [
+    (1, 1.0, 9.0, 5.0),
+    (2, 2.0, 8.0, 1.0),
+    (3, 3.0, 7.0, 9.0),
+    (4, 4.0, 6.0, 2.0),
+    (5, 5.0, 5.0, 8.0),
+    (6, 6.0, 4.0, 3.0),
+    (7, 7.0, 3.0, 7.0),
+    (8, 8.0, 2.0, 4.0),
+    (9, 9.0, 1.0, 6.0),
+    (10, 5.0, 5.0, 5.0),
+    (11, 9.0, 9.0, 9.0),
+    (12, 2.0, 9.0, 9.0),
+]
+
+COLUMNS = [("id", INTEGER, False), ("a", DOUBLE, False),
+           ("b", DOUBLE, False), ("c", DOUBLE, False)]
+
+
+@pytest.fixture
+def service() -> CatalogService:
+    service = CatalogService()
+    session = service.session_for()
+    session.create_table("pts", COLUMNS, POINTS)
+    return service
+
+
+def shape_of(service: CatalogService, sql: str):
+    session = service.session_for()
+    prepared = session.prepare(session.sql(sql).plan)
+    return cacheable_shape(prepared.optimized)
+
+
+def run(service: CatalogService, sql: str):
+    return service.execute(service.session_for(), sql)
+
+
+def oracle(rows, spec):
+    dims = [BoundDimension(i, kind) for i, kind in spec]
+    return sorted(skyline_oracle(rows, dims))
+
+
+class TestCacheableShape:
+    def test_select_star_skyline_is_cacheable(self, service):
+        shape = shape_of(
+            service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        assert shape is not None
+        assert shape.table == "pts"
+        assert shape.dims == ((("a"), DimensionKind.MIN),
+                              (("b"), DimensionKind.MIN))
+        assert shape.indices == (1, 2)
+
+    def test_where_filter_not_cacheable(self, service):
+        assert shape_of(
+            service,
+            "SELECT * FROM pts WHERE a > 2 SKYLINE OF a MIN, b MIN"
+        ) is None
+
+    def test_column_subset_not_cacheable(self, service):
+        assert shape_of(
+            service, "SELECT a, b FROM pts SKYLINE OF a MIN, b MIN"
+        ) is None
+
+    def test_distinct_not_cacheable(self, service):
+        assert shape_of(
+            service,
+            "SELECT * FROM pts SKYLINE OF DISTINCT a MIN, b MIN"
+        ) is None
+
+    def test_plain_select_not_cacheable(self, service):
+        assert shape_of(service, "SELECT * FROM pts") is None
+
+    def test_key_is_order_insensitive(self, service):
+        ab = shape_of(service,
+                      "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        ba = shape_of(service,
+                      "SELECT * FROM pts SKYLINE OF b MIN, a MIN")
+        assert ab.key == ba.key
+
+
+class TestContainmentLookup:
+    def test_exact_hit_is_bit_identical(self, service):
+        cold = run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        hot = run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        assert not cold.cache_hit and hot.cache_hit
+        assert hot.as_tuples() == cold.as_tuples()
+        assert service.result_cache.stats.exact_hits == 1
+
+    def test_subset_refilter_matches_oracle(self, service):
+        run(service,
+            "SELECT * FROM pts SKYLINE OF a MIN, b MIN, c MIN")
+        for sql, spec in [
+            ("SELECT * FROM pts SKYLINE OF a MIN, b MIN",
+             [(1, DimensionKind.MIN), (2, DimensionKind.MIN)]),
+            ("SELECT * FROM pts SKYLINE OF b MIN, c MIN",
+             [(2, DimensionKind.MIN), (3, DimensionKind.MIN)]),
+            ("SELECT * FROM pts SKYLINE OF a MIN, c MIN",
+             [(1, DimensionKind.MIN), (3, DimensionKind.MIN)]),
+        ]:
+            hot = run(service, sql)
+            assert hot.cache_hit
+            assert sorted(hot.as_tuples()) == oracle(POINTS, spec)
+
+    def test_subset_bit_identical_vs_cold_service(self, service):
+        run(service,
+            "SELECT * FROM pts SKYLINE OF a MIN, b MIN, c MIN")
+        hot = run(service, "SELECT * FROM pts SKYLINE OF a MIN, c MIN")
+        assert hot.cache_hit
+        cold_service = CatalogService()
+        cold_service.session_for().create_table("pts", COLUMNS, POINTS)
+        cold = run(cold_service,
+                   "SELECT * FROM pts SKYLINE OF a MIN, c MIN")
+        assert not cold.cache_hit
+        assert sorted(hot.as_tuples()) == sorted(cold.as_tuples())
+
+    def test_superset_query_misses(self, service):
+        run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        out = run(service,
+                  "SELECT * FROM pts SKYLINE OF a MIN, b MIN, c MIN")
+        assert not out.cache_hit
+
+    def test_mixed_kinds_refilter(self, service):
+        run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MAX, c MIN")
+        hot = run(service, "SELECT * FROM pts SKYLINE OF b MAX, c MIN")
+        assert hot.cache_hit
+        assert sorted(hot.as_tuples()) == oracle(
+            POINTS, [(2, DimensionKind.MAX), (3, DimensionKind.MIN)])
+
+    def test_cache_disabled_never_hits(self, service):
+        service.result_cache_enabled = False
+        run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        out = run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        assert not out.cache_hit
+        assert len(service.result_cache) == 0
+
+
+class TestInvalidation:
+    FULL = "SELECT * FROM pts SKYLINE OF a MIN, b MIN, c MIN"
+
+    def test_dominated_insert_keeps_entry(self, service):
+        run(service, self.FULL)
+        # (9.5, 9.5, 9.5) is dominated by row 10 = (5, 5, 5).
+        service.catalog.insert_into("pts", [(99, 9.5, 9.5, 9.5)])
+        out = run(service, self.FULL)
+        assert out.cache_hit
+        assert sorted(out.as_tuples()) == oracle(
+            POINTS, [(1, DimensionKind.MIN), (2, DimensionKind.MIN),
+                     (3, DimensionKind.MIN)])
+
+    def test_subset_after_dominated_insert_sees_table(self, service):
+        run(service, self.FULL)
+        service.catalog.insert_into("pts", [(99, 9.5, 9.5, 9.5)])
+        hot = run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        assert hot.cache_hit
+        assert sorted(hot.as_tuples()) == oracle(
+            POINTS + [(99, 9.5, 9.5, 9.5)],
+            [(1, DimensionKind.MIN), (2, DimensionKind.MIN)])
+
+    def test_surviving_insert_invalidates(self, service):
+        run(service, self.FULL)
+        service.catalog.insert_into("pts", [(99, 0.5, 0.5, 0.5)])
+        out = run(service, self.FULL)
+        assert not out.cache_hit
+        assert (99, 0.5, 0.5, 0.5) in out.as_tuples()
+
+    def test_tying_insert_invalidates(self, service):
+        run(service, self.FULL)
+        # Ties skyline member (2, 2.0, 8.0, 1.0) in every dimension and
+        # no other row dominates it; ties are not strict dominance, so
+        # the entry goes (the new row belongs in the skyline itself).
+        service.catalog.insert_into("pts", [(99, 2.0, 8.0, 1.0)])
+        out = run(service, self.FULL)
+        assert not out.cache_hit
+        assert (99, 2.0, 8.0, 1.0) in out.as_tuples()
+
+    def test_delete_nonmember_keeps_entry(self, service):
+        run(service, self.FULL)
+        service.catalog.delete_from("pts", rows=[(11, 9.0, 9.0, 9.0)])
+        out = run(service, self.FULL)
+        assert out.cache_hit
+        remaining = [r for r in POINTS if r[0] != 11]
+        assert sorted(out.as_tuples()) == oracle(
+            remaining, [(1, DimensionKind.MIN), (2, DimensionKind.MIN),
+                        (3, DimensionKind.MIN)])
+
+    def test_subset_after_delete_rebuilds_matrix(self, service):
+        run(service, self.FULL)
+        service.catalog.delete_from("pts", rows=[(11, 9.0, 9.0, 9.0)])
+        hot = run(service, "SELECT * FROM pts SKYLINE OF b MIN, c MIN")
+        assert hot.cache_hit
+        remaining = [r for r in POINTS if r[0] != 11]
+        assert sorted(hot.as_tuples()) == oracle(
+            remaining, [(2, DimensionKind.MIN), (3, DimensionKind.MIN)])
+
+    def test_delete_member_invalidates(self, service):
+        run(service, self.FULL)
+        service.catalog.delete_from("pts", rows=[(2, 2.0, 8.0, 1.0)])
+        out = run(service, self.FULL)
+        assert not out.cache_hit
+        assert (2, 2.0, 8.0, 1.0) not in out.as_tuples()
+
+    def test_register_flushes_table(self, service):
+        run(service, self.FULL)
+        assert len(service.result_cache) == 1
+        service.session_for().create_table("pts", COLUMNS, POINTS[:4])
+        assert len(service.result_cache) == 0
+        out = run(service, self.FULL)
+        assert not out.cache_hit
+        assert len(out.as_tuples()) == len(oracle(
+            POINTS[:4],
+            [(1, DimensionKind.MIN), (2, DimensionKind.MIN),
+             (3, DimensionKind.MIN)]))
+
+    def test_drop_flushes_table(self, service):
+        run(service, self.FULL)
+        service.catalog.drop("pts")
+        assert len(service.result_cache) == 0
+
+    def test_unrelated_table_dml_keeps_entry(self, service):
+        session = service.session_for()
+        session.create_table("other", COLUMNS, POINTS[:3])
+        run(service, self.FULL)
+        service.catalog.insert_into("other", [(99, 1.0, 1.0, 1.0)])
+        hot = run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        assert hot.cache_hit
+        assert sorted(hot.as_tuples()) == oracle(
+            POINTS, [(1, DimensionKind.MIN), (2, DimensionKind.MIN)])
+
+
+class TestNullSafety:
+    def test_null_dimension_table_never_cached(self):
+        service = CatalogService()
+        session = service.session_for()
+        session.create_table(
+            "npts",
+            [("id", INTEGER, False), ("a", DOUBLE, True),
+             ("b", DOUBLE, True)],
+            [(1, 1.0, None), (2, 2.0, 2.0), (3, None, 1.0)])
+        sql = "SELECT * FROM npts SKYLINE OF a MIN, b MIN"
+        run(service, sql)
+        assert len(service.result_cache) == 0
+        assert not run(service, sql).cache_hit
+
+    def test_null_insert_invalidates(self):
+        service = CatalogService()
+        session = service.session_for()
+        session.create_table(
+            "npts",
+            [("id", INTEGER, False), ("a", DOUBLE, True),
+             ("b", DOUBLE, True)],
+            [(1, 1.0, 3.0), (2, 2.0, 2.0), (3, 3.0, 1.0)])
+        sql = "SELECT * FROM npts SKYLINE OF a MIN, b MIN"
+        run(service, sql)
+        assert len(service.result_cache) == 1
+        # Null in a cached dimension: incomplete semantics from here on.
+        service.catalog.insert_into("npts", [(4, None, 9.0)])
+        assert len(service.result_cache) == 0
+        assert not run(service, sql).cache_hit
+
+
+class TestCacheMechanics:
+    def test_lru_eviction(self):
+        cache = SkylineResultCache(max_entries=2)
+        from repro.engine.row import Schema
+
+        def shape_for(table):
+            from repro.serve.cache import CacheableShape
+            return CacheableShape(table=table,
+                                  dims=(("a", DimensionKind.MIN),),
+                                  indices=(0,))
+
+        schema = Schema([])
+        for name in ("t1", "t2", "t3"):
+            assert cache.store(shape_for(name), [(1.0,)], schema,
+                               table_rows=[(1.0,), (2.0,)], version=1)
+        assert len(cache) == 2
+        assert cache.lookup(shape_for("t1"), [(1.0,)], 1) is None
+        assert cache.lookup(shape_for("t3"), [(1.0,)], 1) is not None
+
+    def test_store_refuses_null_result_rows(self):
+        from repro.engine.row import Schema
+        from repro.serve.cache import CacheableShape
+
+        cache = SkylineResultCache()
+        shape = CacheableShape(table="t",
+                               dims=(("a", DimensionKind.MIN),),
+                               indices=(0,))
+        assert not cache.store(shape, [(None,)], Schema([]))
+        assert len(cache) == 0
+
+    def test_stats_counters(self, service):
+        stats = service.result_cache.stats
+        run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN, c MIN")
+        assert (stats.misses, stats.stores) == (1, 1)
+        run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN, c MIN")
+        assert stats.exact_hits == 1
+        run(service, "SELECT * FROM pts SKYLINE OF a MIN, b MIN")
+        assert stats.refilter_hits == 1
+        assert stats.hits == 2
+        service.catalog.insert_into("pts", [(99, 0.0, 0.0, 0.0)])
+        assert stats.invalidations == 1
+        as_dict = stats.as_dict()
+        assert as_dict["exact_hits"] == 1
+        assert as_dict["invalidations"] == 1

@@ -9,12 +9,14 @@ import doctest
 
 import pytest
 
+import repro.api.config
 import repro.api.dataframe
 import repro.api.session
 import repro.stats.statistics
 import repro.stats.store
 
 DOCTESTED_MODULES = [
+    repro.api.config,
     repro.api.session,
     repro.api.dataframe,
     repro.stats.statistics,

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Black-box smoke test of the serving endpoint (stdlib-only).
+
+Boots ``python -m repro.serve --demo`` as a real subprocess, waits for
+its "listening on" line, then drives N concurrent TCP clients through
+the JSON-lines protocol: each client pings, runs the full-preference
+demo skyline and a subset-preference variant, and verifies that
+
+* every response is well-formed and ``ok``;
+* all clients get identical rows per query;
+* the subset query is eventually answered from the dominance-aware
+  result cache (``cache_hit``) with the same rows as its cold run.
+
+Usage: ``PYTHONPATH=src python tools/serve_smoke.py [--clients 8]``
+Exits non-zero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+
+FULL = ("SELECT * FROM hotels "
+        "SKYLINE OF price MIN, rating MAX, distance MIN")
+SUBSET = "SELECT * FROM hotels SKYLINE OF price MIN, rating MAX"
+
+
+async def request(host: str, port: int, payloads: list[dict]
+                  ) -> list[dict]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        responses = []
+        for payload in payloads:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            responses.append(json.loads(await reader.readline()))
+        return responses
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def drive(host: str, port: int, clients: int) -> None:
+    async def one_client(index: int) -> "tuple[list, list, bool]":
+        pong, full, subset = await request(host, port, [
+            {"op": "ping"},
+            {"op": "query", "sql": FULL, "tenant": f"tenant-{index}"},
+            {"op": "query", "sql": SUBSET, "tenant": f"tenant-{index}"},
+        ])
+        assert pong.get("pong"), f"bad ping response: {pong}"
+        for response in (full, subset):
+            assert response.get("ok"), f"query failed: {response}"
+        return (sorted(map(tuple, full["rows"])),
+                sorted(map(tuple, subset["rows"])),
+                bool(subset["cache_hit"]))
+
+    results = await asyncio.gather(*(one_client(i)
+                                     for i in range(clients)))
+    full_answers = {tuple(map(tuple, r[0])) for r in results}
+    subset_answers = {tuple(map(tuple, r[1])) for r in results}
+    assert len(full_answers) == 1, \
+        f"clients disagree on the full skyline: {full_answers}"
+    assert len(subset_answers) == 1, \
+        f"clients disagree on the subset skyline: {subset_answers}"
+    assert any(r[2] for r in results), \
+        "no client was served the subset query from the result cache"
+
+    (stats,) = await request(host, port, [{"op": "stats"}])
+    cache = stats["service"]["result_cache"]
+    assert cache["stores"] >= 1 and cache["refilter_hits"] >= 1, \
+        f"unexpected cache counters: {cache}"
+    print(f"serve smoke OK: {clients} clients, "
+          f"{len(next(iter(full_answers)))} full-skyline rows, "
+          f"cache {cache}")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--demo", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=os.environ.copy())
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        if not match:
+            raise SystemExit(f"server did not start: {line!r}")
+        host, port = match.group(1), int(match.group(2))
+        asyncio.run(asyncio.wait_for(
+            drive(host, port, args.clients), args.timeout))
+        return 0
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
