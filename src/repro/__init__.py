@@ -38,8 +38,10 @@ from .engine import (BACKEND_NAMES, BOOLEAN, DOUBLE, INTEGER, STRING, Backend,
                      create_backend)
 from .engine.functions import (avg, coalesce, col, count, ifnull, lit,
                                sdiff, smax, smin, sql_max, sql_min, sql_sum)
+from .engine.faults import FaultPlan
 from .errors import (AnalysisError, BenchmarkTimeout, ExecutionError,
-                     ParseError, PlanningError, ReproError)
+                     ParseError, PlanningError, QueryTimeout, ReproError,
+                     ServerOverloadedError, TaskError, WorkerCrashError)
 
 __version__ = "1.1.0"
 
@@ -58,6 +60,7 @@ __all__ = [
     "DimensionKind",
     "DominanceStats",
     "ExecutionError",
+    "FaultPlan",
     "Field",
     "ForeignKey",
     "GroupedData",
@@ -65,7 +68,11 @@ __all__ = [
     "ParseError",
     "PlanningError",
     "QueryResult",
+    "QueryTimeout",
     "ReproError",
+    "ServerOverloadedError",
+    "TaskError",
+    "WorkerCrashError",
     "Row",
     "STRING",
     "Schema",

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..core.vectorized import numpy_available
-from ..engine.backends import BACKEND_NAMES, Backend
+from ..engine.backends import BACKEND_NAMES, Backend, RetryPolicy
 from ..engine.cluster import ClusterConfig
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -112,9 +112,22 @@ class SessionConfig:
         to off.
     time_budget_s:
         Per-query wall-clock budget; queries raise
-        :class:`~repro.errors.BenchmarkTimeout` beyond it.  ``None``
+        :class:`~repro.errors.QueryTimeout` beyond it.  ``None``
         disables the budget.  (Completes the config API: the
         ``set_time_budget`` mutator remains as a convenience.)
+    max_task_retries:
+        How many times a failed partition task is re-executed before
+        the failure becomes terminal (``0`` disables retry).  Safe
+        because tasks are pure/deterministic -- a retry is
+        bit-identical -- and only *infrastructure* failures (worker
+        crashes, injected faults, timeouts) are retried at all.
+    task_timeout_s:
+        Per-attempt wall-clock bound on the thread/process backends;
+        a timed-out attempt is speculatively re-executed.  ``None``
+        disables per-task timeouts.
+    retry_backoff_s:
+        Base of the exponential retry backoff (deterministic seeded
+        jitter in [0.5x, 1.5x) per attempt).
     """
 
     num_executors: int = 2
@@ -129,6 +142,9 @@ class SessionConfig:
     vectorized: "bool | str" = "auto"
     columnar: "bool | str" = "auto"
     time_budget_s: "float | None" = None
+    max_task_retries: int = 3
+    task_timeout_s: "float | None" = None
+    retry_backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         # Imported here: repro.plan imports repro.engine, which must not
@@ -164,6 +180,16 @@ class SessionConfig:
             raise ValueError("num_executors must be >= 1")
         if self.num_workers is not None and self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.time_budget_s is not None and self.time_budget_s < 0:
+            # 0.0 is legal: an already-expired budget (used by tests to
+            # force instant timeouts).
+            raise ValueError("time_budget_s must be >= 0")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be > 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
 
     # -- derived views ----------------------------------------------------
 
@@ -194,7 +220,8 @@ class SessionConfig:
         Two configs with equal fingerprints plan identical logical
         plans identically, so cross-session plan caches
         (:class:`repro.serve.catalog.CatalogService`) key on this.
-        ``time_budget_s`` is execution-only and excluded on purpose.
+        Execution-only settings (``time_budget_s`` and the
+        retry/timeout knobs) are excluded on purpose.
         """
         return (
             self.num_executors,
@@ -207,6 +234,15 @@ class SessionConfig:
             self.vectorized_enabled,
             self.columnar_enabled,
         )
+
+    def retry_policy(self) -> RetryPolicy:
+        """The per-stage :class:`~repro.engine.backends.RetryPolicy`
+        this config asks for (``max_attempts`` counts the first
+        execution, so it is ``max_task_retries + 1``)."""
+        return RetryPolicy(
+            max_attempts=self.max_task_retries + 1,
+            backoff_s=self.retry_backoff_s,
+            task_timeout_s=self.task_timeout_s)
 
     def as_dict(self) -> dict:
         """JSON-friendly view of the config (the serving protocol's

@@ -507,7 +507,8 @@ class SkylineSession:
 
     def execute_prepared(self, prepared: PreparedQuery) -> QueryResult:
         """Execute a prepared physical plan on a fresh context."""
-        ctx = ExecutionContext(self.cluster_config, backend=self.backend)
+        ctx = ExecutionContext(self.cluster_config, backend=self.backend,
+                               retry_policy=self.config.retry_policy())
         ctx.set_budget(self._time_budget_s)
         rdd = prepared.physical.execute(ctx)
         rows = [Row(values, prepared.schema) for values in rdd.collect()]

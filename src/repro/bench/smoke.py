@@ -182,6 +182,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--min-cache-speedup", type=float, default=None,
                         help="fail unless the result-cache hit speedup "
                              "reaches this factor")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the query mix clean and under a seeded "
+                             "fault plan (crashes/errors/delays), assert "
+                             "bit-identical answers, and emit "
+                             "BENCH_chaos.json")
+    parser.add_argument("--chaos-crash-p", type=float, default=0.10,
+                        help="injected per-task crash probability for "
+                             "--chaos")
+    parser.add_argument("--max-chaos-overhead", type=float, default=None,
+                        help="fail if the chaos wall-clock overhead "
+                             "exceeds this factor")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="size multiplier for the adaptive mix")
     parser.add_argument("--rows", type=int, default=None,
@@ -195,10 +206,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "this factor (use on multi-core CI runners)")
     args = parser.parse_args(argv)
     if not (args.smoke or args.speedup or args.adaptive
-            or args.vectorized or args.columnar or args.serving):
+            or args.vectorized or args.columnar or args.serving
+            or args.chaos):
         parser.error("nothing to do: pass --smoke, --speedup, "
-                     "--adaptive, --vectorized, --columnar and/or "
-                     "--serving")
+                     "--adaptive, --vectorized, --columnar, --serving "
+                     "and/or --chaos")
 
     status = 0
     if args.smoke:
@@ -269,5 +281,25 @@ def main(argv: Sequence[str] | None = None) -> int:
                 report["cache_speedup"] < args.min_cache_speedup:
             print(f"FAIL: cache-hit speedup below required "
                   f"{args.min_cache_speedup:.2f}x", file=sys.stderr)
+            status = 1
+    if args.chaos:
+        from .chaos import render_chaos_report, run_chaos_bench
+        report = run_chaos_bench(num_rows=args.rows or 12_000,
+                                 crash_p=args.chaos_crash_p)
+        with open("BENCH_chaos.json", "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(render_chaos_report(report))
+        if not report["bit_identical"]:
+            print("FAIL: chaos run produced different answers than the "
+                  "clean run", file=sys.stderr)
+            status = 1
+        if not report["faults_injected"]:
+            print("FAIL: the fault plan injected nothing (gate would be "
+                  "vacuous)", file=sys.stderr)
+            status = 1
+        if args.max_chaos_overhead is not None and \
+                report["overhead"] > args.max_chaos_overhead:
+            print(f"FAIL: chaos overhead above allowed "
+                  f"{args.max_chaos_overhead:.2f}x", file=sys.stderr)
             status = 1
     return status

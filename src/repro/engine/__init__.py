@@ -1,11 +1,12 @@
 """The engine substrate: types, rows, expressions, RDDs, cluster, catalog."""
 
-from .backends import (BACKEND_NAMES, Backend, LocalBackend, ProcessBackend,
-                       SharedBackend, StageTask, ThreadBackend,
-                       create_backend)
+from .backends import (BACKEND_NAMES, Backend, FaultStats, LocalBackend,
+                       ProcessBackend, RetryPolicy, SharedBackend, StageTask,
+                       ThreadBackend, create_backend)
 from .batch import Column, ColumnBatch, encode_numeric_column
 from .catalog import Catalog, CatalogEvent, ForeignKey, Table
 from .cluster import ClusterConfig, ExecutionContext
+from .faults import FaultPlan, InjectedFault, SimulatedWorkerCrash, activate
 from .rdd import RDD, BatchRDD, stable_hash
 from .row import Field, Row, Schema, infer_schema
 from .types import (BOOLEAN, DOUBLE, INTEGER, STRING, BooleanType, DataType,
@@ -33,8 +34,14 @@ __all__ = [
     "DataType",
     "DoubleType",
     "ExecutionContext",
+    "FaultPlan",
+    "FaultStats",
     "Field",
     "ForeignKey",
+    "InjectedFault",
+    "RetryPolicy",
+    "SimulatedWorkerCrash",
+    "activate",
     "INTEGER",
     "IntegerType",
     "RDD",

@@ -24,16 +24,57 @@ Three implementations are provided:
 Every backend preserves task order and determinism: results are returned
 in submission order regardless of completion order, so the engine's
 output is bit-identical across backends.
+
+Fault tolerance
+---------------
+
+Stages execute under a :class:`RetryPolicy`.  Because every partition
+task is **pure and deterministic** (a top-level function of plain-data
+arguments, or a closure over immutable engine state), re-running a
+failed task is bit-identical to the first attempt -- which makes
+Spark-style task-level retry sound here:
+
+* *Retryable* failures (injected faults from
+  :mod:`repro.engine.faults`, worker crashes, IPC transport errors,
+  task timeouts) are retried up to ``max_attempts`` with exponential
+  backoff and deterministic seeded jitter.
+* A crashed worker process breaks the whole ``ProcessPoolExecutor``
+  (every in-flight future raises ``BrokenProcessPool``); the process
+  backend rebuilds the pool and re-runs **only the lost tasks** --
+  results that completed before the crash are kept.  A task that keeps
+  dying surfaces as :class:`~repro.errors.WorkerCrashError` once the
+  budget is spent.
+* ``task_timeout_s`` bounds one attempt on the pooled backends via
+  future deadlines.  A timed-out attempt is *speculatively* retried:
+  the original future is left to finish (a thread cannot be killed) and
+  the first attempt to complete wins; if the retry wins while the
+  original is still running, the outcome is flagged
+  ``speculative_win``.
+* A stage-level ``deadline`` (the query's ``time_budget_s``) caps every
+  future wait, so a stuck task raises
+  :class:`~repro.errors.QueryTimeout` mid-stage instead of after it.
+* Ordinary task exceptions are **not** retried -- determinism means
+  they would fail identically -- and are wrapped in
+  :class:`~repro.errors.TaskError` immediately.
+
+On any terminal stage failure, outstanding futures are cancelled and
+their exceptions observed (no leaked, silently-running work).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import threading
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, \
-    ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, Executor, Future, \
+    ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import QueryTimeout, TaskError, WorkerCrashError
+from .faults import InjectedFault, SimulatedWorkerCrash, maybe_inject
 
 #: Names accepted by :func:`create_backend` and the session API.
 BACKEND_NAMES = ("local", "thread", "process")
@@ -65,6 +106,10 @@ class StageTask:
     or ``vectorized``); it is carried into the recorded
     :class:`~repro.engine.cluster.TaskMetrics` so benchmarks and the
     differential suite can verify which implementation actually ran.
+
+    ``key`` identifies the task for retry bookkeeping and deterministic
+    fault injection (:mod:`repro.engine.faults`); the execution context
+    fills it with ``"<stage>#<partition>"``.
     """
 
     partition: int
@@ -73,6 +118,7 @@ class StageTask:
     func: Callable[..., Any] | None = None
     args: tuple = ()
     kernel: str = "scalar"
+    key: str = ""
 
     def __post_init__(self) -> None:
         if self.fn is None and self.func is None:
@@ -81,6 +127,10 @@ class StageTask:
     @property
     def picklable(self) -> bool:
         return self.func is not None
+
+    @property
+    def fault_key(self) -> str:
+        return self.key or f"task#{self.partition}"
 
     def run_inline(self) -> Any:
         """Execute in the calling thread/process."""
@@ -91,31 +141,137 @@ class StageTask:
 
 @dataclass
 class TaskOutcome:
-    """Result of one task plus its measured duration."""
+    """Result of one task plus its measured duration.
+
+    ``attempts`` counts executions including the successful one;
+    ``speculative_win`` marks results produced by a timeout-triggered
+    retry that finished while the original attempt was still running.
+    """
 
     result: Any
     duration_s: float
+    attempts: int = 1
+    speculative_win: bool = False
 
 
-def timed_invoke(func: Callable[..., Any], args: tuple) -> TaskOutcome:
+@dataclass
+class FaultStats:
+    """Fault-handling counters for one stage execution (or aggregated
+    across a query / a server's lifetime)."""
+
+    retries: int = 0
+    crash_recoveries: int = 0
+    speculative_wins: int = 0
+
+    def merge(self, other: "FaultStats") -> None:
+        self.retries += other.retries
+        self.crash_recoveries += other.crash_recoveries
+        self.speculative_wins += other.speculative_wins
+
+    def any(self) -> bool:
+        return bool(self.retries or self.crash_recoveries
+                    or self.speculative_wins)
+
+    def as_dict(self) -> dict:
+        return {"retries": self.retries,
+                "crash_recoveries": self.crash_recoveries,
+                "speculative_wins": self.speculative_wins}
+
+
+@dataclass
+class RetryPolicy:
+    """Per-stage retry/timeout budget applied to every task.
+
+    ``max_attempts`` counts total executions (1 = no retry).
+    ``backoff_s`` is the base of an exponential backoff whose jitter is
+    *deterministic* -- a seeded hash of (task key, attempt) -- so
+    retried runs remain reproducible.  ``task_timeout_s`` bounds one
+    attempt on the pooled backends; ``deadline`` is an absolute
+    ``perf_counter`` bound (the query budget) capping every wait.
+    ``stats`` receives the fault counters of the stage.
+    """
+
+    max_attempts: int = 4
+    backoff_s: float = 0.05
+    task_timeout_s: "float | None" = None
+    seed: int = 0
+    deadline: "float | None" = None
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be > 0")
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Exponential backoff with deterministic seeded jitter.
+
+        The jitter multiplier lies in [0.5, 1.5) and depends only on
+        (seed, key, attempt): two runs of the same failing stage sleep
+        identically, keeping chaos tests reproducible.
+        """
+        if self.backoff_s <= 0:
+            return 0.0
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}:backoff".encode()).digest()
+        jitter = 0.5 + int.from_bytes(digest[:8], "big") / float(1 << 64)
+        delay = self.backoff_s * (2 ** attempt) * jitter
+        if self.deadline is not None:
+            delay = min(delay, max(0.0, self.deadline
+                                   - time.perf_counter()))
+        return min(delay, 2.0)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Classify a task failure.
+
+    Infrastructure failures are worth re-executing; deterministic task
+    exceptions are not -- the re-run would fail identically, so they
+    fail fast as :class:`~repro.errors.TaskError`.
+    """
+    if isinstance(exc, InjectedFault):
+        return True
+    if isinstance(exc, BrokenExecutor):
+        return True
+    # IPC transport errors shipping payloads/results to process workers.
+    if isinstance(exc, (ConnectionError, EOFError)):
+        return True
+    return False
+
+
+def _is_crash(exc: BaseException) -> bool:
+    return isinstance(exc, (SimulatedWorkerCrash, BrokenExecutor))
+
+
+def timed_invoke(func: Callable[..., Any], args: tuple,
+                 fault_key: "str | None" = None,
+                 attempt: int = 0) -> TaskOutcome:
     """Run ``func(*args)`` measuring its duration.
 
     Top-level so that :class:`ProcessBackend` can pickle it; the duration
     is measured inside the worker, which is what the simulated-cluster
-    makespan model needs.
+    makespan model needs.  ``fault_key`` routes the call through the
+    deterministic fault injector (a crash decision here kills the
+    worker process for real).
     """
+    if fault_key is not None:
+        maybe_inject(fault_key, attempt, in_worker=True)
     start = time.perf_counter()
     result = func(*args)
     return TaskOutcome(result, time.perf_counter() - start)
 
 
-def _timed_inline(task: StageTask) -> TaskOutcome:
+def _timed_inline(task: StageTask, attempt: int = 0) -> TaskOutcome:
+    maybe_inject(task.fault_key, attempt)
     start = time.perf_counter()
     result = task.run_inline()
     return TaskOutcome(result, time.perf_counter() - start)
 
 
-def _timed_in_thread(task: StageTask) -> TaskOutcome:
+def _timed_in_thread(task: StageTask, attempt: int = 0) -> TaskOutcome:
     """Inline execution timed with per-thread CPU time.
 
     GIL contention makes wall-clock meaningless for concurrent
@@ -124,9 +280,124 @@ def _timed_in_thread(task: StageTask) -> TaskOutcome:
     recorded durations -- and hence the simulated makespan -- comparable
     across backends for the CPU-bound skyline kernels.
     """
+    maybe_inject(task.fault_key, attempt)
     start = time.thread_time()
     result = task.run_inline()
     return TaskOutcome(result, time.thread_time() - start)
+
+
+# -- shared retry machinery ------------------------------------------------
+
+
+def _check_deadline(policy: RetryPolicy) -> None:
+    if policy.deadline is not None and \
+            time.perf_counter() > policy.deadline:
+        raise QueryTimeout(
+            message="query deadline exceeded during stage execution")
+
+
+def _wait_budget(policy: RetryPolicy) -> "tuple[float | None, bool]":
+    """Timeout for one future wait: min(task timeout, deadline left).
+
+    Returns ``(timeout, deadline_bound)``; ``deadline_bound`` tells the
+    caller whether an expiry means the *query* is out of time (raise
+    :class:`QueryTimeout`) rather than the task (speculative retry).
+    """
+    timeout = policy.task_timeout_s
+    if policy.deadline is not None:
+        remaining = policy.deadline - time.perf_counter()
+        if remaining <= 0:
+            raise QueryTimeout(
+                message="query deadline exceeded during stage execution")
+        if timeout is None or remaining < timeout:
+            return remaining, True
+    return timeout, False
+
+
+def _next_attempt(task: StageTask, attempt: int, policy: RetryPolicy,
+                  exc: Exception) -> int:
+    """Account for one failed attempt; returns the next attempt number
+    or raises the terminal wrapped error."""
+    if isinstance(exc, QueryTimeout):
+        # The deadline-wrapped task fn noticed the query budget expired;
+        # that is a query-level verdict, not a task failure.
+        raise exc
+    key = task.fault_key
+    attempts = attempt + 1
+    if not is_retryable(exc):
+        raise TaskError(
+            f"task {key} failed: {exc}", task_key=key,
+            attempts=attempts) from exc
+    if attempts >= policy.max_attempts:
+        if _is_crash(exc):
+            raise WorkerCrashError(
+                f"task {key} lost to worker crashes after {attempts} "
+                f"attempts", task_key=key, attempts=attempts) from exc
+        raise TaskError(
+            f"task {key} failed after {attempts} attempts: {exc}",
+            task_key=key, attempts=attempts) from exc
+    policy.stats.retries += 1
+    if _is_crash(exc):
+        policy.stats.crash_recoveries += 1
+    delay = policy.backoff_delay(key, attempt)
+    if delay > 0:
+        time.sleep(delay)
+    return attempt + 1
+
+
+def _run_with_retries(task: StageTask, policy: RetryPolicy,
+                      timer: Callable[[StageTask, int], TaskOutcome]
+                      = _timed_inline) -> TaskOutcome:
+    """Inline execution under the retry policy (driver-side paths)."""
+    attempt = 0
+    while True:
+        _check_deadline(policy)
+        try:
+            outcome = timer(task, attempt)
+        except Exception as exc:
+            attempt = _next_attempt(task, attempt, policy, exc)
+            continue
+        outcome.attempts = attempt + 1
+        return outcome
+
+
+def _observe(future: Future) -> None:
+    """Done-callback retrieving a future's exception so abandoned work
+    never surfaces as an 'exception was never retrieved' warning."""
+    if not future.cancelled():
+        future.exception()
+
+
+def _abandon(futures: Iterable["Future | None"]) -> None:
+    """Cancel-or-observe outstanding futures on a terminal stage error.
+
+    Pending futures are cancelled; running ones cannot be (threads and
+    already-dispatched process tasks are uninterruptible), so their
+    eventual exception/result is swallowed via a done-callback instead
+    of leaking unobserved.
+    """
+    for future in futures:
+        if future is None or future.done():
+            continue
+        future.cancel()
+        future.add_done_callback(_observe)
+
+
+@dataclass
+class _Slot:
+    """Mutable per-task retry state during one stage execution."""
+
+    task: StageTask
+    future: "Future | None" = None
+    prev: "Future | None" = None
+    attempt: int = 0
+    epoch: int = 0
+
+    def outstanding(self) -> "list[Future]":
+        return [f for f in (self.future, self.prev) if f is not None]
+
+
+_DEFAULT_POLICY = RetryPolicy()
 
 
 class Backend:
@@ -134,7 +405,9 @@ class Backend:
 
     name = "base"
 
-    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
+    def run_stage(self, tasks: Sequence[StageTask],
+                  policy: "RetryPolicy | None" = None
+                  ) -> list[TaskOutcome]:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -155,8 +428,11 @@ class LocalBackend(Backend):
 
     name = "local"
 
-    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
-        return [_timed_inline(task) for task in tasks]
+    def run_stage(self, tasks: Sequence[StageTask],
+                  policy: "RetryPolicy | None" = None
+                  ) -> list[TaskOutcome]:
+        policy = policy if policy is not None else RetryPolicy()
+        return [_run_with_retries(task, policy) for task in tasks]
 
 
 class _PooledBackend(Backend):
@@ -167,20 +443,41 @@ class _PooledBackend(Backend):
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers or default_num_workers()
         self._pool: Executor | None = None
+        self._lock = threading.Lock()
+        #: Bumped on every pool teardown; lets concurrent stage runs
+        #: agree on which pool instance a crash invalidated.
+        self._epoch = 0
 
     def _make_pool(self) -> Executor:
         raise NotImplementedError
 
     @property
     def pool(self) -> Executor:
-        if self._pool is None:
-            self._pool = self._make_pool()
-        return self._pool
+        return self._pool_and_epoch()[0]
+
+    def _pool_and_epoch(self) -> "tuple[Executor, int]":
+        with self._lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool, self._epoch
+
+    def _invalidate_pool(self, epoch: int) -> None:
+        """Tear down the pool of generation ``epoch`` (idempotent: a
+        second caller observing the same crash is a no-op)."""
+        with self._lock:
+            if self._epoch != epoch or self._pool is None:
+                return
+            pool, self._pool = self._pool, None
+            self._epoch += 1
+        pool.shutdown(wait=False)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                self._epoch += 1
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(num_workers={self.num_workers})"
@@ -196,12 +493,63 @@ class ThreadBackend(_PooledBackend):
             max_workers=self.num_workers,
             thread_name_prefix="repro-stage")
 
-    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
+    def run_stage(self, tasks: Sequence[StageTask],
+                  policy: "RetryPolicy | None" = None
+                  ) -> list[TaskOutcome]:
+        policy = policy if policy is not None else RetryPolicy()
         if len(tasks) <= 1:
-            return [_timed_inline(task) for task in tasks]
-        futures = [self.pool.submit(_timed_in_thread, task)
-                   for task in tasks]
-        return [future.result() for future in futures]
+            return [_run_with_retries(task, policy) for task in tasks]
+        slots = [_Slot(task) for task in tasks]
+        try:
+            for slot in slots:
+                slot.future = self.pool.submit(
+                    _timed_in_thread, slot.task, slot.attempt)
+            return [self._collect(slot, policy) for slot in slots]
+        except BaseException:
+            _abandon(f for slot in slots for f in slot.outstanding())
+            raise
+
+    def _collect(self, slot: _Slot, policy: RetryPolicy) -> TaskOutcome:
+        while True:
+            timeout, deadline_bound = _wait_budget(policy)
+            try:
+                outcome = slot.future.result(timeout)
+            except FuturesTimeout:
+                if deadline_bound:
+                    raise QueryTimeout(
+                        message="query deadline exceeded during stage "
+                                "execution") from None
+                self._speculate(slot, policy)
+                continue
+            except Exception as exc:
+                slot.attempt = _next_attempt(slot.task, slot.attempt,
+                                             policy, exc)
+                slot.future = self.pool.submit(
+                    _timed_in_thread, slot.task, slot.attempt)
+                continue
+            outcome.attempts = slot.attempt + 1
+            if slot.prev is not None and not slot.prev.done():
+                outcome.speculative_win = True
+                policy.stats.speculative_wins += 1
+            return outcome
+
+    def _speculate(self, slot: _Slot, policy: RetryPolicy) -> None:
+        """Relaunch a timed-out attempt; the original keeps running
+        (threads are uninterruptible) and the first finisher wins --
+        results are identical either way because tasks are pure."""
+        attempts = slot.attempt + 1
+        if attempts >= policy.max_attempts:
+            raise TaskError(
+                f"task {slot.task.fault_key} timed out after {attempts} "
+                f"attempts (task_timeout_s="
+                f"{policy.task_timeout_s})",
+                task_key=slot.task.fault_key, attempts=attempts)
+        policy.stats.retries += 1
+        slot.attempt += 1
+        slot.prev = slot.future
+        slot.prev.add_done_callback(_observe)
+        slot.future = self.pool.submit(
+            _timed_in_thread, slot.task, slot.attempt)
 
 
 class ProcessBackend(_PooledBackend):
@@ -212,6 +560,10 @@ class ProcessBackend(_PooledBackend):
     local-skyline phase -- the parallel bulk of ``distributed_complete``
     and ``distributed_incomplete`` -- provides such payloads, so it is
     exactly the work that fans out.
+
+    A dead worker breaks the whole pool (``BrokenProcessPool`` on every
+    in-flight future); :meth:`_recover` rebuilds it and re-runs only
+    the tasks whose results were lost.
     """
 
     name = "process"
@@ -219,19 +571,114 @@ class ProcessBackend(_PooledBackend):
     def _make_pool(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self.num_workers)
 
-    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
+    def run_stage(self, tasks: Sequence[StageTask],
+                  policy: "RetryPolicy | None" = None
+                  ) -> list[TaskOutcome]:
+        policy = policy if policy is not None else RetryPolicy()
         shippable = [t for t in tasks if t.picklable]
         if len(shippable) <= 1:
-            return [_timed_inline(task) for task in tasks]
-        futures = {
-            id(task): self.pool.submit(timed_invoke, task.func, task.args)
-            for task in shippable}
-        outcomes = []
-        for task in tasks:
-            future = futures.get(id(task))
-            outcomes.append(future.result() if future is not None
-                            else _timed_inline(task))
-        return outcomes
+            return [_run_with_retries(task, policy) for task in tasks]
+        slots = {id(task): _Slot(task) for task in shippable}
+        try:
+            for slot in slots.values():
+                self._submit(slot)
+            outcomes = []
+            for task in tasks:
+                slot = slots.get(id(task))
+                outcomes.append(
+                    _run_with_retries(task, policy) if slot is None
+                    else self._collect(slot, slots, policy))
+            return outcomes
+        except BaseException:
+            _abandon(f for slot in slots.values()
+                     for f in slot.outstanding())
+            raise
+
+    def _submit(self, slot: _Slot) -> None:
+        while True:
+            pool, epoch = self._pool_and_epoch()
+            try:
+                slot.future = pool.submit(
+                    timed_invoke, slot.task.func, slot.task.args,
+                    slot.task.fault_key, slot.attempt)
+                slot.epoch = epoch
+                return
+            except BrokenExecutor:
+                # The pool died between the grab and the submit; a
+                # fresh pool cannot be born broken, so this converges.
+                self._invalidate_pool(epoch)
+
+    def _collect(self, slot: _Slot, slots: "dict[int, _Slot]",
+                 policy: RetryPolicy) -> TaskOutcome:
+        while True:
+            timeout, deadline_bound = _wait_budget(policy)
+            try:
+                outcome = slot.future.result(timeout)
+            except FuturesTimeout:
+                if deadline_bound:
+                    raise QueryTimeout(
+                        message="query deadline exceeded during stage "
+                                "execution") from None
+                self._speculate(slot, policy)
+                continue
+            except BrokenExecutor as exc:
+                self._recover(slot.epoch, slots, policy, exc)
+                continue
+            except Exception as exc:
+                slot.attempt = _next_attempt(slot.task, slot.attempt,
+                                             policy, exc)
+                self._submit(slot)
+                continue
+            outcome.attempts = slot.attempt + 1
+            if slot.prev is not None and not slot.prev.done():
+                outcome.speculative_win = True
+                policy.stats.speculative_wins += 1
+            return outcome
+
+    def _speculate(self, slot: _Slot, policy: RetryPolicy) -> None:
+        attempts = slot.attempt + 1
+        if attempts >= policy.max_attempts:
+            raise TaskError(
+                f"task {slot.task.fault_key} timed out after {attempts} "
+                f"attempts (task_timeout_s={policy.task_timeout_s})",
+                task_key=slot.task.fault_key, attempts=attempts)
+        policy.stats.retries += 1
+        slot.attempt += 1
+        slot.prev = slot.future
+        slot.prev.add_done_callback(_observe)
+        self._submit(slot)
+
+    def _recover(self, epoch: int, slots: "dict[int, _Slot]",
+                 policy: RetryPolicy, cause: BaseException) -> None:
+        """Worker-crash recovery: rebuild the pool, re-run lost tasks.
+
+        Results that completed before the crash are kept (their futures
+        retain them); every unfinished task is resubmitted with its
+        attempt counter bumped, so a task that keeps killing workers
+        exhausts its budget and surfaces as
+        :class:`~repro.errors.WorkerCrashError`.
+        """
+        policy.stats.crash_recoveries += 1
+        self._invalidate_pool(epoch)
+        for slot in slots.values():
+            future = slot.future
+            if future is None:
+                continue
+            if future.done() and future.exception() is None:
+                continue  # survived the crash; result already in hand
+            if not future.done():
+                future.cancel()
+                future.add_done_callback(_observe)
+            attempts = slot.attempt + 1
+            if attempts >= policy.max_attempts:
+                raise WorkerCrashError(
+                    f"task {slot.task.fault_key} lost to worker crashes "
+                    f"after {attempts} attempts",
+                    task_key=slot.task.fault_key,
+                    attempts=attempts) from cause
+            policy.stats.retries += 1
+            slot.attempt += 1
+            self._submit(slot)
 
 
 class SharedBackend(Backend):
@@ -242,7 +689,9 @@ class SharedBackend(Backend):
     per session, but a tenant calling ``close()`` (or using the session
     as a context manager) must not tear the shared pool down under the
     other tenants -- so ``close`` is a no-op here and the owning server
-    calls :meth:`close_shared` on shutdown.
+    calls :meth:`close_shared` on shutdown.  Worker-crash recovery is
+    epoch-guarded in the wrapped backend, so concurrent tenants
+    observing the same crash rebuild the pool exactly once.
     """
 
     def __init__(self, inner: Backend) -> None:
@@ -256,8 +705,10 @@ class SharedBackend(Backend):
     def num_workers(self) -> int | None:
         return getattr(self.inner, "num_workers", None)
 
-    def run_stage(self, tasks: Sequence[StageTask]) -> list[TaskOutcome]:
-        return self.inner.run_stage(tasks)
+    def run_stage(self, tasks: Sequence[StageTask],
+                  policy: "RetryPolicy | None" = None
+                  ) -> list[TaskOutcome]:
+        return self.inner.run_stage(tasks, policy)
 
     def close(self) -> None:
         """No-op: the pool is shared; see :meth:`close_shared`."""

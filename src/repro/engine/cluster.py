@@ -25,7 +25,9 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
-from .backends import Backend, LocalBackend, StageTask
+from ..errors import QueryTimeout
+from .backends import Backend, FaultStats, LocalBackend, RetryPolicy, \
+    StageTask
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,9 @@ class TaskMetrics:
     peak_held_rows: int = 0
     #: Kernel family that executed the task (``scalar``/``vectorized``).
     kernel: str = "scalar"
+    #: Executions of the task including the successful one (> 1 means
+    #: the fault-tolerance layer retried it).
+    attempts: int = 1
 
 
 @dataclass
@@ -93,6 +98,12 @@ class StageMetrics:
     #: as opposed to the simulated makespan.  With a parallel backend
     #: this is less than the sum of the task durations.
     real_time_s: float = 0.0
+    #: Fault-tolerance counters (see :class:`~repro.engine.backends
+    #: .FaultStats`): task re-executions, pool rebuilds after worker
+    #: crashes, and timeout-triggered speculative retries that won.
+    retries: int = 0
+    crash_recoveries: int = 0
+    speculative_wins: int = 0
 
     @property
     def rows_in(self) -> int:
@@ -147,7 +158,8 @@ class ExecutionContext:
     """
 
     def __init__(self, config: ClusterConfig | None = None,
-                 backend: Backend | None = None) -> None:
+                 backend: Backend | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.config = config or ClusterConfig()
         self.backend = backend or LocalBackend()
         self.stages: list[StageMetrics] = []
@@ -156,17 +168,43 @@ class ExecutionContext:
         self.dominance_comparisons: int = 0
         #: Wall-clock time budget; checked by long-running operators.
         self.deadline: float | None = None
+        #: Budget in seconds and when it started, for timeout reporting.
+        self.budget_s: float | None = None
+        self._budget_start: float | None = None
+        #: Retry/timeout budget applied to every stage (see
+        #: :class:`~repro.engine.backends.RetryPolicy`).
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Query-wide fault-tolerance counters, merged from every stage.
+        self.fault_stats = FaultStats()
 
     # -- deadline handling -------------------------------------------------
 
     def set_budget(self, seconds: float | None) -> None:
-        self.deadline = None if seconds is None else (
-            time.perf_counter() + seconds)
+        self.budget_s = seconds
+        now = time.perf_counter()
+        self._budget_start = None if seconds is None else now
+        self.deadline = None if seconds is None else now + seconds
+
+    def set_retry_policy(self, policy: RetryPolicy) -> None:
+        self.retry_policy = policy
 
     def check_deadline(self) -> None:
         if self.deadline is not None and time.perf_counter() > self.deadline:
-            from ..errors import BenchmarkTimeout
-            raise BenchmarkTimeout(0.0, 0.0)
+            elapsed = time.perf_counter() - (self._budget_start or 0.0)
+            raise QueryTimeout(elapsed=elapsed,
+                               budget=self.budget_s or 0.0,
+                               partial_stats=self.partial_progress())
+
+    def partial_progress(self) -> dict:
+        """How far the query got -- attached to :class:`QueryTimeout`
+        payloads so a client can decide whether a bigger budget would
+        plausibly finish the query."""
+        return {
+            "stages_completed": len(self.stages),
+            "tasks_completed": sum(len(s.tasks) for s in self.stages),
+            "rows_out": sum(s.rows_out for s in self.stages),
+            **self.fault_stats.as_dict(),
+        }
 
     # -- recording ---------------------------------------------------------
 
@@ -191,12 +229,24 @@ class ExecutionContext:
         task order (deterministic across backends).
         """
         self.check_deadline()
+        tasks = [replace(task, key=task.key or f"{stage}#{task.partition}")
+                 for task in tasks]
         if self.deadline is not None:
             tasks = [self._deadline_wrapped(task) for task in tasks]
         metrics = self.stage(stage, parallelizable)
+        policy = replace(self.retry_policy, deadline=self.deadline,
+                         stats=FaultStats())
         start = time.perf_counter()
-        outcomes = self.backend.run_stage(tasks)
-        metrics.real_time_s += time.perf_counter() - start
+        try:
+            outcomes = self.backend.run_stage(tasks, policy)
+        except QueryTimeout as exc:
+            self._merge_faults(metrics, policy.stats)
+            if not exc.partial_stats:
+                exc.partial_stats.update(self.partial_progress())
+            raise
+        finally:
+            metrics.real_time_s += time.perf_counter() - start
+            self._merge_faults(metrics, policy.stats)
         results = []
         for task, outcome in zip(tasks, outcomes):
             rows, peak_held, comparisons = _split_task_result(outcome.result)
@@ -205,9 +255,25 @@ class ExecutionContext:
                 stage=stage, partition=task.partition,
                 duration_s=outcome.duration_s, rows_in=task.rows_in,
                 rows_out=len(rows), peak_held_rows=peak_held,
-                kernel=task.kernel))
+                kernel=task.kernel, attempts=outcome.attempts))
             results.append(rows)
         return results
+
+    def _merge_faults(self, metrics: StageMetrics,
+                      stats: FaultStats) -> None:
+        """Fold one stage run's counters into the stage + query totals.
+
+        Draining (the source is zeroed) so the ``except``/``finally``
+        pair in :meth:`run_stage` can both call it without double
+        counting.
+        """
+        if not stats.any():
+            return
+        metrics.retries += stats.retries
+        metrics.crash_recoveries += stats.crash_recoveries
+        metrics.speculative_wins += stats.speculative_wins
+        self.fault_stats.merge(stats)
+        stats.retries = stats.crash_recoveries = stats.speculative_wins = 0
 
     def _deadline_wrapped(self, task: StageTask) -> StageTask:
         """Per-task budget check for driver-side execution.
@@ -311,6 +377,7 @@ class ExecutionContext:
             "peak_memory_mb": self.peak_memory_mb(),
             "total_task_time_s": self.total_task_time_s(),
             "dominance_comparisons": self.dominance_comparisons,
+            "faults": self.fault_stats.as_dict(),
             "stages": [
                 {
                     "name": s.name,
@@ -319,6 +386,9 @@ class ExecutionContext:
                     "rows_out": s.rows_out,
                     "shuffled_rows": s.shuffled_rows,
                     "kernels": sorted({t.kernel for t in s.tasks}),
+                    "retries": s.retries,
+                    "crash_recoveries": s.crash_recoveries,
+                    "speculative_wins": s.speculative_wins,
                 }
                 for s in self.stages
             ],

@@ -14,6 +14,8 @@ from __future__ import annotations
 import argparse
 import asyncio
 
+from ..api.config import SessionConfig
+from ..engine.backends import BACKEND_NAMES
 from ..engine.types import DOUBLE, STRING
 from .app import SkylineServer
 
@@ -28,28 +30,60 @@ def build_parser() -> argparse.ArgumentParser:
                         help="TCP port (0 picks a free one)")
     parser.add_argument("--max-inflight", type=int, default=4,
                         help="bound on concurrently executing queries")
+    parser.add_argument("--max-queue", type=int, default=16,
+                        help="per-tenant queue bound; beyond it requests "
+                             "are shed with the 'overloaded' error code")
+    parser.add_argument("--backend", choices=BACKEND_NAMES,
+                        default="local",
+                        help="default execution backend for tenants")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size for thread/process "
+                             "backends")
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="force a skyline partition count (random "
+                             "partitioning) so stages fan out")
     parser.add_argument("--demo", action="store_true",
                         help="pre-register a demo 'hotels' table")
+    parser.add_argument("--demo-rows", type=int, default=0,
+                        help="with --demo: add this many generated rows "
+                             "so queries do real work")
     return parser
 
 
-def load_demo(server: SkylineServer) -> None:
+def load_demo(server: SkylineServer, extra_rows: int = 0) -> None:
+    rows = [("A", 120.0, 4.5, 2.0), ("B", 90.0, 4.0, 5.5),
+            ("C", 150.0, 3.0, 1.0), ("D", 85.0, 3.5, 6.0),
+            ("E", 200.0, 5.0, 0.5)]
+    if extra_rows > 0:
+        # Deterministic anticorrelated-ish filler (no RNG on purpose:
+        # the fault-injection smoke compares servers bit-for-bit).
+        rows += [(f"H{i}",
+                  50.0 + (i * 37 % 400),
+                  1.0 + (i * 17 % 40) / 10.0,
+                  0.2 + (i * 29 % 100) / 10.0)
+                 for i in range(extra_rows)]
     session = server.tenant("default").session
     session.create_table(
         "hotels",
         [("name", STRING, False), ("price", DOUBLE, False),
          ("rating", DOUBLE, False), ("distance", DOUBLE, False)],
-        [("A", 120.0, 4.5, 2.0), ("B", 90.0, 4.0, 5.5),
-         ("C", 150.0, 3.0, 1.0), ("D", 85.0, 3.5, 6.0),
-         ("E", 200.0, 5.0, 0.5)])
+        rows)
 
 
 async def amain(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    config = SessionConfig(backend=args.backend,
+                           num_workers=args.workers)
+    if args.partitions:
+        config = config.with_options(
+            skyline_partitioning="random",
+            skyline_partitions=args.partitions)
     server = SkylineServer(host=args.host, port=args.port,
-                           max_inflight=args.max_inflight)
+                           max_inflight=args.max_inflight,
+                           max_queue_per_tenant=args.max_queue,
+                           default_config=config)
     if args.demo:
-        load_demo(server)
+        load_demo(server, args.demo_rows)
     host, port = await server.start()
     print(f"repro.serve listening on {host}:{port}", flush=True)
     try:

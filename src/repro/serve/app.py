@@ -21,8 +21,28 @@ Requests (``op`` selects the operation)::
     {"op": "stats"}
 
 Every response carries ``"ok"``; query responses add ``rows``,
-``columns``, ``cache_hit``, ``scheduler_wait_s`` and ``elapsed_s``,
-errors add ``error`` (the exception type) and ``message``.
+``columns``, ``cache_hit``, ``scheduler_wait_s`` and ``elapsed_s``.
+
+Error responses carry a **stable wire error code** in ``error`` plus a
+human-readable ``message`` -- never a stack trace or an internal
+exception repr.  The codes:
+
+=================  =====================================================
+``parse_error``    malformed SQL
+``analysis_error`` unresolvable plan (unknown table/column, ...)
+``planning_error`` no physical plan
+``timeout``        query exceeded ``time_budget_s`` (adds ``elapsed_s``,
+                   ``budget_s``, ``partial_stats``)
+``worker_crash``   a task was lost to worker crashes past the retry
+                   budget (adds ``task_key``, ``attempts``)
+``task_error``     a task failed terminally (adds ``task_key``,
+                   ``attempts``)
+``overloaded``     admission shed the request (adds ``retry_after_s``)
+``bad_request``    malformed request envelope (bad JSON, unknown op,
+                   missing fields)
+``internal``       anything unexpected; the message is generic on
+                   purpose
+=================  =====================================================
 """
 
 from __future__ import annotations
@@ -36,13 +56,64 @@ from dataclasses import dataclass
 from ..api.config import SessionConfig
 from ..api.session import QueryResult, SkylineSession
 from ..engine.types import BOOLEAN, DOUBLE, INTEGER, STRING
-from ..errors import ReproError
+from ..errors import (AnalysisError, ParseError, PlanningError,
+                      QueryTimeout, ReproError, ServerOverloadedError,
+                      TaskError, WorkerCrashError)
 from .catalog import CatalogService
 from .scheduler import AdmissionScheduler
 
 #: Column type names accepted by the ``create_table`` op.
 TYPE_NAMES = {"INTEGER": INTEGER, "INT": INTEGER, "DOUBLE": DOUBLE,
               "FLOAT": DOUBLE, "STRING": STRING, "BOOLEAN": BOOLEAN}
+
+#: Exception -> stable wire code, most specific first (order matters:
+#: ``WorkerCrashError`` is a ``TaskError``).
+_ERROR_CODES: "tuple[tuple[type, str], ...]" = (
+    (ParseError, "parse_error"),
+    (AnalysisError, "analysis_error"),
+    (PlanningError, "planning_error"),
+    (QueryTimeout, "timeout"),
+    (WorkerCrashError, "worker_crash"),
+    (TaskError, "task_error"),
+    (ServerOverloadedError, "overloaded"),
+)
+
+
+def wire_error(exc: BaseException) -> dict:
+    """Map an exception to a stable error payload for the wire.
+
+    Only the taxonomy's message text crosses the boundary -- no stack
+    traces, no exception class names, and for *unexpected* exceptions
+    not even the message (clients get a generic ``internal``).
+    """
+    for exc_type, code in _ERROR_CODES:
+        if isinstance(exc, exc_type):
+            payload = {"ok": False, "error": code, "message": str(exc)}
+            if isinstance(exc, QueryTimeout):
+                payload["elapsed_s"] = exc.elapsed
+                payload["budget_s"] = exc.budget
+                payload["partial_stats"] = dict(exc.partial_stats)
+            elif isinstance(exc, TaskError):
+                payload["task_key"] = exc.task_key
+                payload["attempts"] = exc.attempts
+            elif isinstance(exc, ServerOverloadedError):
+                payload["retry_after_s"] = exc.retry_after_s
+            return payload
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        # Request-shaped errors (bad fields, unknown ops, bad types).
+        return {"ok": False, "error": "bad_request", "message": str(exc)}
+    if isinstance(exc, ReproError):
+        # Our own taxonomy: the message is safe, curated text.
+        return {"ok": False, "error": "internal", "message": str(exc)}
+    return {"ok": False, "error": "internal",
+            "message": "internal server error"}
+
+
+def _swallow(future) -> None:
+    """Observe a discarded future so its exception is never 'never
+    retrieved' (hard-timed-out queries finish into one of these)."""
+    if not future.cancelled():
+        future.exception()
 
 
 @dataclass
@@ -60,11 +131,13 @@ class SkylineServer:
     def __init__(self, service: "CatalogService | None" = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  max_inflight: int = 4,
+                 max_queue_per_tenant: int = 16,
                  default_config: "SessionConfig | None" = None) -> None:
         self.service = service if service is not None else CatalogService()
         self.host = host
         self.port = port
-        self.scheduler = AdmissionScheduler(max_inflight)
+        self.scheduler = AdmissionScheduler(max_inflight,
+                                            max_queue_per_tenant)
         self.default_config = default_config if default_config is not None \
             else SessionConfig()
         self._tenants: dict[str, Tenant] = {}
@@ -95,15 +168,39 @@ class SkylineServer:
     # -- execution --------------------------------------------------------
 
     async def execute(self, tenant_name: str, sql: str) -> QueryResult:
-        """Run one query for a tenant through admission control."""
+        """Run one query for a tenant through admission control.
+
+        ``time_budget_s`` is enforced twice: cooperatively inside the
+        engine (precise, with partial-progress stats) and here as a
+        hard ``asyncio.wait_for`` backstop with a grace margin --
+        catching tasks stuck somewhere the cooperative checks cannot
+        reach.  The worker thread of a hard-timed-out query cannot be
+        killed; it is left to finish into a discarded future.
+        """
         tenant = self.tenant(tenant_name)
         waited = await self.scheduler.admit(tenant.name)
+        start = time.perf_counter()
+        budget = tenant.config.time_budget_s
         try:
             loop = asyncio.get_running_loop()
-            result = await loop.run_in_executor(
+            call = loop.run_in_executor(
                 self._pool, self.service.execute, tenant.session, sql)
+            if budget is None:
+                result = await call
+            else:
+                try:
+                    result = await asyncio.wait_for(
+                        asyncio.shield(call),
+                        timeout=budget + max(0.5, budget))
+                except asyncio.TimeoutError:
+                    call.add_done_callback(_swallow)
+                    raise QueryTimeout(
+                        elapsed=time.perf_counter() - start,
+                        budget=budget,
+                        partial_stats={"enforced_by": "server"}) from None
         finally:
             self.scheduler.release()
+            self.scheduler.note_service_time(time.perf_counter() - start)
         result.scheduler_wait_s = waited
         return result
 
@@ -130,11 +227,12 @@ class SkylineServer:
                 return await self._op_query(request)
             if op in ("create_table", "insert", "delete", "drop"):
                 return self._op_dml(op, request)
-            return {"ok": False, "error": "ValueError",
+            return {"ok": False, "error": "bad_request",
                     "message": f"unknown op {op!r}"}
-        except (ReproError, ValueError, TypeError, KeyError) as exc:
-            return {"ok": False, "error": type(exc).__name__,
-                    "message": str(exc)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            return wire_error(exc)
 
     async def _op_query(self, request: dict) -> dict:
         sql = request.get("sql")
@@ -202,11 +300,12 @@ class SkylineServer:
                 try:
                     request = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    response = {"ok": False, "error": "JSONDecodeError",
-                                "message": str(exc)}
+                    response = {"ok": False, "error": "bad_request",
+                                "message": f"request is not valid JSON: "
+                                           f"{exc}"}
                 else:
                     if not isinstance(request, dict):
-                        response = {"ok": False, "error": "ValueError",
+                        response = {"ok": False, "error": "bad_request",
                                     "message": "request must be an object"}
                     else:
                         response = await self.handle(request)

@@ -17,7 +17,8 @@ from collections import OrderedDict
 
 from ..api.config import SessionConfig
 from ..api.session import PreparedQuery, QueryResult, SkylineSession
-from ..engine.backends import BackendSpec, SharedBackend, create_backend
+from ..engine.backends import (BackendSpec, FaultStats, SharedBackend,
+                               create_backend)
 from ..engine.catalog import Catalog
 from ..engine.row import Row
 from ..plan.logical import AnalyzeTable
@@ -54,6 +55,10 @@ class CatalogService:
         self.result_cache_enabled = True
         self.plan_hits = 0
         self.plan_misses = 0
+        #: Service-lifetime fault-tolerance counters, merged from every
+        #: executed query's context (reported by :meth:`stats`).
+        self.fault_stats = FaultStats()
+        self._fault_lock = threading.Lock()
 
     # -- tenants ----------------------------------------------------------
 
@@ -140,6 +145,7 @@ class CatalogService:
                 return session.cached_result(rows, prepared.schema)
         version = self.catalog.version
         result = session.execute_prepared(prepared)
+        self._note_faults(result)
         if shape is not None and self.catalog.version == version:
             self.result_cache.store(
                 shape, [row.as_tuple() for row in result.rows],
@@ -148,16 +154,26 @@ class CatalogService:
                 version=version)
         return result
 
+    def _note_faults(self, result: QueryResult) -> None:
+        """Fold one query's fault counters into the service totals."""
+        stats = getattr(result.context, "fault_stats", None)
+        if stats is not None and stats.any():
+            with self._fault_lock:
+                self.fault_stats.merge(stats)
+
     # -- lifecycle --------------------------------------------------------
 
     def stats(self) -> dict:
         with self._plan_lock:
             plan = {"hits": self.plan_hits, "misses": self.plan_misses,
                     "entries": len(self._plan_cache)}
+        with self._fault_lock:
+            faults = self.fault_stats.as_dict()
         return {"catalog_version": self.catalog.version,
                 "tables": self.catalog.table_names(),
                 "plan_cache": plan,
-                "result_cache": self.result_cache.stats.as_dict()}
+                "result_cache": self.result_cache.stats.as_dict(),
+                "faults": faults}
 
     def close(self) -> None:
         """Shut down the shared worker pools (server shutdown only)."""

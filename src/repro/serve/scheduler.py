@@ -7,6 +7,16 @@ number of in-flight queries and, when there is a queue, drains it
 round-robin *across tenants* (FIFO within a tenant): a tenant issuing
 100 queries cannot starve one issuing a single query.
 
+Queueing is bounded too (graceful degradation): each tenant may hold at
+most ``max_queue_per_tenant`` waiting requests, beyond which admission
+*sheds* the request -- :class:`~repro.errors.ServerOverloadedError`
+carrying a ``retry_after_s`` hint derived from an EWMA of recent
+service times -- instead of queueing without limit until the process
+dies.  Tenants are pruned from the round-robin ring as soon as their
+queue drains, so a long-lived server visited by many one-shot tenants
+does not accumulate dead ring entries (dispatch stays O(active
+tenants)).
+
 The scheduler is event-loop-local: every method must be called from
 the loop's thread (the server does), so no locking is needed.
 """
@@ -17,6 +27,8 @@ import asyncio
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..errors import ServerOverloadedError
+
 
 @dataclass
 class SchedulerStats:
@@ -24,27 +36,37 @@ class SchedulerStats:
 
     admitted: int = 0
     queued: int = 0
+    shed: int = 0
     max_queue_depth: int = 0
     total_wait_s: float = 0.0
     per_tenant: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {"admitted": self.admitted, "queued": self.queued,
+                "shed": self.shed,
                 "max_queue_depth": self.max_queue_depth,
                 "total_wait_s": self.total_wait_s,
                 "per_tenant": dict(self.per_tenant)}
 
 
 class AdmissionScheduler:
-    """Bounded in-flight slots with per-tenant round-robin fairness."""
+    """Bounded in-flight slots with per-tenant round-robin fairness
+    and bounded per-tenant queues (load shedding beyond)."""
 
-    def __init__(self, max_inflight: int = 4) -> None:
+    def __init__(self, max_inflight: int = 4,
+                 max_queue_per_tenant: int = 16) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if max_queue_per_tenant < 1:
+            raise ValueError("max_queue_per_tenant must be >= 1")
         self.max_inflight = max_inflight
+        self.max_queue_per_tenant = max_queue_per_tenant
         self._inflight = 0
         self._queues: "dict[str, deque[asyncio.Future]]" = {}
         self._ring: "deque[str]" = deque()
+        #: EWMA of observed per-query service time, feeding the
+        #: ``retry_after_s`` hint on shed requests.
+        self._service_ewma: "float | None" = None
         self.stats = SchedulerStats()
 
     @property
@@ -55,21 +77,55 @@ class AdmissionScheduler:
     def queue_depth(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    @property
+    def tenant_count(self) -> int:
+        """Tenants currently holding queued work (ring size)."""
+        return len(self._queues)
+
+    def note_service_time(self, seconds: float) -> None:
+        """Feed one completed query's service time into the EWMA."""
+        if seconds < 0:
+            return
+        if self._service_ewma is None:
+            self._service_ewma = seconds
+        else:
+            self._service_ewma += 0.2 * (seconds - self._service_ewma)
+
+    def retry_after_hint(self) -> float:
+        """Suggested client backoff: the backlog ahead of a re-arrival
+        (queued + running) times the recent per-query service time,
+        spread over the in-flight slots."""
+        per_query = self._service_ewma if self._service_ewma else 0.05
+        backlog = max(1, self.queue_depth + self._inflight)
+        return round(max(0.01, per_query * backlog / self.max_inflight), 4)
+
     async def admit(self, tenant: str) -> float:
         """Wait for a slot; returns the time spent queued (seconds).
 
         Admission is immediate when a slot is free *and* nobody is
         queued (late arrivals must not overtake waiting tenants).
+        Raises :class:`~repro.errors.ServerOverloadedError` instead of
+        queueing when the tenant's queue is already full.
         """
+        if self._inflight < self.max_inflight and self.queue_depth == 0:
+            self.stats.admitted += 1
+            self.stats.per_tenant[tenant] = \
+                self.stats.per_tenant.get(tenant, 0) + 1
+            self._inflight += 1
+            return 0.0
+        queue = self._queues.get(tenant)
+        if queue is not None and \
+                len(queue) >= self.max_queue_per_tenant:
+            self.stats.shed += 1
+            raise ServerOverloadedError(
+                f"tenant {tenant!r} has {len(queue)} queued requests "
+                f"(limit {self.max_queue_per_tenant}); shedding",
+                retry_after_s=self.retry_after_hint())
         self.stats.admitted += 1
         self.stats.per_tenant[tenant] = \
             self.stats.per_tenant.get(tenant, 0) + 1
-        if self._inflight < self.max_inflight and self.queue_depth == 0:
-            self._inflight += 1
-            return 0.0
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        queue = self._queues.get(tenant)
         if queue is None:
             queue = self._queues[tenant] = deque()
             self._ring.append(tenant)
@@ -91,6 +147,7 @@ class AdmissionScheduler:
                     queue.remove(future)
                 except ValueError:
                     pass
+                self._prune(tenant)
             raise
         waited = loop.time() - start
         self.stats.total_wait_s += waited
@@ -103,6 +160,16 @@ class AdmissionScheduler:
         self._inflight -= 1
         self._dispatch()
 
+    def _prune(self, tenant: str) -> None:
+        """Drop a drained tenant from the queue map and the ring."""
+        queue = self._queues.get(tenant)
+        if queue is not None and not queue:
+            del self._queues[tenant]
+            try:
+                self._ring.remove(tenant)
+            except ValueError:
+                pass
+
     def _dispatch(self) -> None:
         while self._inflight < self.max_inflight:
             future = self._next_waiter()
@@ -112,13 +179,25 @@ class AdmissionScheduler:
             future.set_result(None)
 
     def _next_waiter(self) -> "asyncio.Future | None":
-        """Round-robin over tenants with queued work, FIFO within."""
+        """Round-robin over tenants with queued work, FIFO within.
+
+        Tenants whose queue drains (served or all-cancelled) are
+        pruned on the spot, keeping the ring at O(active tenants).
+        """
         for _ in range(len(self._ring)):
             tenant = self._ring[0]
-            self._ring.rotate(-1)
-            queue = self._queues.get(tenant)
+            queue = self._queues[tenant]
+            future = None
             while queue:
-                future = queue.popleft()
-                if not future.done():
-                    return future
+                candidate = queue.popleft()
+                if not candidate.done():
+                    future = candidate
+                    break
+            if queue:
+                self._ring.rotate(-1)
+            else:
+                self._ring.popleft()
+                del self._queues[tenant]
+            if future is not None:
+                return future
         return None

@@ -213,7 +213,7 @@ class TestProtocol:
                 await writer.drain()
                 decoded = json.loads(await reader.readline())
                 assert not decoded["ok"]
-                assert decoded["error"] == "JSONDecodeError"
+                assert decoded["error"] == "bad_request"
 
                 unknown = await self.roundtrip(reader, writer,
                                                {"op": "frobnicate"})
@@ -224,7 +224,7 @@ class TestProtocol:
                     reader, writer,
                     {"op": "query", "sql": "SELECT * FROM nope"})
                 assert not missing["ok"]
-                assert missing["error"] == "AnalysisError"
+                assert missing["error"] == "analysis_error"
 
                 notnull = await self.roundtrip(reader, writer, {
                     "op": "create_table", "table": "t",
@@ -233,7 +233,7 @@ class TestProtocol:
                 violation = await self.roundtrip(reader, writer, {
                     "op": "insert", "table": "t", "rows": [[None]]})
                 assert not violation["ok"]
-                assert violation["error"] == "AnalysisError"
+                assert violation["error"] == "analysis_error"
                 assert "NOT NULL" in violation["message"]
             finally:
                 writer.close()

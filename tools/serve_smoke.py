@@ -11,7 +11,16 @@ demo skyline and a subset-preference variant, and verifies that
 * the subset query is eventually answered from the dominance-aware
   result cache (``cache_hit``) with the same rows as its cold run.
 
-Usage: ``PYTHONPATH=src python tools/serve_smoke.py [--clients 8]``
+``--inject-faults`` additionally boots a second server on the process
+backend with a seeded ``REPRO_FAULT_PLAN`` in its environment, so
+process-pool workers really die mid-stage (``os._exit``), and asserts
+the crash-then-recover contract: the faulted server's answers are
+bit-identical to the clean server's, its stats report at least one
+worker-crash pool recovery, and it keeps serving afterwards -- all
+without a restart.
+
+Usage: ``PYTHONPATH=src python tools/serve_smoke.py [--clients 8]
+[--inject-faults]``
 Exits non-zero with a diagnostic on any failure.
 """
 
@@ -82,28 +91,98 @@ async def drive(host: str, port: int, clients: int) -> None:
           f"cache {cache}")
 
 
+def boot(extra_args: "list[str]", extra_env: "dict | None" = None
+         ) -> "tuple[subprocess.Popen, str, int]":
+    """Start ``python -m repro.serve`` and wait for its bound address."""
+    env = os.environ.copy()
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--demo", "--port", "0",
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    line = proc.stdout.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", line)
+    if not match:
+        proc.terminate()
+        raise SystemExit(f"server did not start: {line!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+async def drive_faulted(clean: "tuple[str, int]",
+                        faulted: "tuple[str, int]") -> None:
+    """Crash-then-recover: identical answers, recovery counted, and the
+    faulted server stays up -- no restart."""
+    for sql in (FULL, SUBSET):
+        (reference,) = await request(*clean, [
+            {"op": "query", "sql": sql}])
+        (under_test,) = await request(*faulted, [
+            {"op": "query", "sql": sql}])
+        assert reference.get("ok"), f"clean server failed: {reference}"
+        assert under_test.get("ok"), \
+            f"faulted server failed: {under_test}"
+        assert sorted(map(tuple, reference["rows"])) == \
+            sorted(map(tuple, under_test["rows"])), \
+            f"faulted server's rows differ for {sql!r}"
+
+    (stats,) = await request(*faulted, [{"op": "stats"}])
+    faults = stats["service"]["faults"]
+    assert faults["crash_recoveries"] >= 1, \
+        f"no worker-crash recovery was exercised: {faults}"
+    assert faults["retries"] >= 1, f"no task retries recorded: {faults}"
+
+    # The pool was rebuilt in place: the same server instance keeps
+    # answering queries.
+    (again,) = await request(*faulted, [{"op": "query", "sql": FULL}])
+    assert again.get("ok"), f"faulted server died after recovery: {again}"
+    print(f"fault-injection smoke OK: identical answers, "
+          f"{faults['crash_recoveries']} pool recoveries, "
+          f"{faults['retries']} task retries")
+
+
+def run_fault_injection(timeout: float, crash_p: float, seed: int) -> None:
+    """Boot clean + faulted servers (process backend) and compare."""
+    shape = ["--backend", "process", "--workers", "2",
+             "--partitions", "6", "--demo-rows", "1500"]
+    clean_proc, clean_host, clean_port = boot(shape)
+    faulted_proc, faulted_host, faulted_port = boot(
+        shape, {"REPRO_FAULT_PLAN": f"seed={seed},crash_p={crash_p}"})
+    try:
+        asyncio.run(asyncio.wait_for(
+            drive_faulted((clean_host, clean_port),
+                          (faulted_host, faulted_port)), timeout))
+    finally:
+        for proc in (clean_proc, faulted_proc):
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--inject-faults", action="store_true",
+                        help="also run the crash-then-recover black-box "
+                             "check on the process backend")
+    parser.add_argument("--crash-p", type=float, default=0.2,
+                        help="injected per-task crash probability for "
+                             "--inject-faults")
+    parser.add_argument("--fault-seed", type=int, default=11,
+                        help="fault-plan seed for --inject-faults")
     args = parser.parse_args(argv)
 
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.serve", "--demo", "--port", "0"],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
-        env=os.environ.copy())
+    proc, host, port = boot([])
     try:
-        line = proc.stdout.readline()
-        match = re.search(r"listening on ([\d.]+):(\d+)", line)
-        if not match:
-            raise SystemExit(f"server did not start: {line!r}")
-        host, port = match.group(1), int(match.group(2))
         asyncio.run(asyncio.wait_for(
             drive(host, port, args.clients), args.timeout))
-        return 0
     finally:
         proc.terminate()
         proc.wait(timeout=10)
+    if args.inject_faults:
+        run_fault_injection(max(args.timeout, 60.0), args.crash_p,
+                            args.fault_seed)
+    return 0
 
 
 if __name__ == "__main__":
