@@ -128,6 +128,16 @@ class SessionConfig:
     retry_backoff_s:
         Base of the exponential retry backoff (deterministic seeded
         jitter in [0.5x, 1.5x) per attempt).
+    global_merge:
+        Global skyline phase strategy: ``"auto"`` (cost model picks),
+        ``"flat"`` (single-task merge), or ``"hierarchical"``
+        (tournament-tree pairwise merge rounds).  ``hierarchical`` is
+        a *request*, not a guarantee: incomplete-data queries and
+        nullable skyline dimensions always fall back to flat because
+        dominance over incomplete rows is not transitive.
+    merge_fan_in:
+        Partials merged per task in each hierarchical round
+        (``None`` = derived from executor count and partial count).
     """
 
     num_executors: int = 2
@@ -145,11 +155,15 @@ class SessionConfig:
     max_task_retries: int = 3
     task_timeout_s: "float | None" = None
     retry_backoff_s: float = 0.05
+    global_merge: str = "auto"
+    merge_fan_in: "int | None" = None
 
     def __post_init__(self) -> None:
         # Imported here: repro.plan imports repro.engine, which must not
         # circularly depend on the api package at import time.
-        from ..plan.planner import PARTITIONING_SCHEMES, SKYLINE_STRATEGIES
+        from ..plan.planner import (GLOBAL_MERGE_STRATEGIES,
+                                    PARTITIONING_SCHEMES,
+                                    SKYLINE_STRATEGIES)
 
         if self.adaptive:
             if self.skyline_algorithm not in ("auto", "adaptive"):
@@ -190,6 +204,12 @@ class SessionConfig:
             raise ValueError("task_timeout_s must be > 0")
         if self.retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be >= 0")
+        if self.global_merge not in GLOBAL_MERGE_STRATEGIES:
+            raise ValueError(
+                f"unknown global_merge {self.global_merge!r}; expected "
+                f"one of {GLOBAL_MERGE_STRATEGIES}")
+        if self.merge_fan_in is not None and self.merge_fan_in < 2:
+            raise ValueError("merge_fan_in must be >= 2")
 
     # -- derived views ----------------------------------------------------
 
@@ -233,6 +253,8 @@ class SessionConfig:
             self.num_workers,
             self.vectorized_enabled,
             self.columnar_enabled,
+            self.global_merge,
+            self.merge_fan_in,
         )
 
     def retry_policy(self) -> RetryPolicy:

@@ -76,6 +76,13 @@ class QueryResult:
     def as_tuples(self) -> list[tuple]:
         return [row.as_tuple() for row in self.rows]
 
+    @property
+    def global_merge(self) -> "dict | None":
+        """Shape of the global skyline merge this execution ran
+        (strategy, fan-in, merge tree, per-round task counts, shortcut
+        counters); ``None`` for non-skyline queries."""
+        return getattr(self.context, "global_merge", None)
+
 
 @dataclass
 class PreparedQuery:
@@ -451,7 +458,9 @@ class SkylineSession:
             partitioning=self.skyline_partitioning,
             num_partitions=self.skyline_partitions,
             vectorized=self.vectorized_enabled,
-            columnar=self.columnar_enabled)
+            columnar=self.columnar_enabled,
+            global_merge=self.config.global_merge,
+            merge_fan_in=self.config.merge_fan_in)
 
     _ANALYZE_SCHEMA = Schema([
         Field("table_name", STRING, False),
@@ -557,6 +566,9 @@ class SkylineSession:
         if planner.decisions:
             sections.append("== Skyline Strategy ==")
             sections.extend(d.describe() for d in planner.decisions)
+        if planner.merge_decisions:
+            sections.append("== Global Merge ==")
+            sections.extend(d.describe() for d in planner.merge_decisions)
         return "\n".join(sections)
 
 

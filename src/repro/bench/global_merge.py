@@ -1,0 +1,150 @@
+"""Flat vs hierarchical global-merge ablation.
+
+The global skyline phase is the serial tail of the distributed plan:
+flat merging runs one non-parallelizable task over the concatenation of
+every local skyline, so its cost is unchanged no matter how many
+executors the cluster has.  The tournament-tree merge replaces it with
+``ceil(log_fan_in(partials))`` rounds of pairwise merge tasks that *do*
+parallelize.  This ablation runs the same skyline query on two sessions
+differing only in ``global_merge=`` and compares the **simulated**
+global-phase time (the paper's cost model, deterministic across hosts),
+asserting the answers bit-identical -- order included -- so the
+ablation doubles as a differential check at benchmark scale.
+
+Reachable via ``python -m repro.bench --global-merge``; the rendered
+table is committed under
+``benchmarks/results/ablation_global_merge.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Sequence
+
+from ..api.config import SessionConfig
+from ..api.session import SkylineSession
+from ..engine.cluster import _makespan
+
+
+def _global_phase_time_s(context) -> float:
+    """Simulated time of the skyline *global* stages only.
+
+    Mirrors :meth:`ExecutionContext.simulated_time_s` stage-by-stage
+    (LPT makespan + shuffle cost) but sums just the stages the global
+    merge runs, so local-phase noise cannot mask the ablation.
+    """
+    cfg = context.config
+    total = 0.0
+    for stage in context.stages:
+        if "SkylineGlobal" not in stage.name:
+            continue
+        durations = [t.duration_s + cfg.task_overhead_s
+                     for t in stage.tasks]
+        workers = cfg.num_executors if stage.parallelizable else 1
+        makespan, _ = _makespan(durations, workers)
+        total += makespan
+        total += stage.shuffled_rows * cfg.shuffle_cost_per_row_s
+    return total
+
+
+def measure_merge_speedup(num_rows: int = 180_000,
+                          num_dimensions: int = 6,
+                          num_executors: int = 10,
+                          num_partitions: int = 40,
+                          repeats: int = 3) -> dict:
+    """store_sales skyline, flat vs hierarchical global merge.
+
+    Both sessions share every other knob (vectorized kernels, batch
+    plane, executor count, random partitioning); only the global phase
+    differs.  Over-partitioning (40 partials on 10 executors) is the
+    regime the tree is built for: every extra partition inflates the
+    union of local skylines the flat merge must grind through, while
+    the early tree rounds absorb it in parallel.  The best of
+    ``repeats`` runs per side smooths host noise in the measured task
+    durations that feed the simulation.
+    """
+    from ..datasets import store_sales_workload
+
+    workload = store_sales_workload(num_rows)
+    sql = workload.skyline_sql(num_dimensions)
+    report: dict = {
+        "kind": "global_merge",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "num_rows": num_rows,
+        "num_dimensions": num_dimensions,
+        "num_executors": num_executors,
+        "num_partitions": num_partitions,
+        "workload": workload.table_name,
+        "sql": sql,
+        "runs": {},
+    }
+    answers: dict[str, list[tuple]] = {}
+    for strategy in ("flat", "hierarchical"):
+        session = SkylineSession(config=SessionConfig(
+            num_executors=num_executors, global_merge=strategy,
+            skyline_partitioning="random",
+            skyline_partitions=num_partitions))
+        workload.register(session)
+        best = float("inf")
+        for _ in range(repeats):
+            result = session.sql(sql).run()
+            best = min(best, _global_phase_time_s(result.context))
+        answers[strategy] = result.as_tuples()
+        merge = result.global_merge or {}
+        report["runs"][strategy] = {
+            "global_phase_s": best,
+            "simulated_time_s": result.simulated_time_s,
+            "skyline_rows": len(answers[strategy]),
+            "strategy": merge.get("strategy"),
+            "tree": merge.get("tree"),
+            "rounds_completed": merge.get("rounds_completed", 0),
+            "round_tasks": merge.get("round_tasks", []),
+            "concat_merges": merge.get("concat_merges", 0),
+            "short_circuits": merge.get("short_circuits", 0),
+            "fallback": merge.get("fallback"),
+        }
+    report["bit_identical"] = \
+        answers["flat"] == answers["hierarchical"]
+    hier = report["runs"]["hierarchical"]["global_phase_s"]
+    report["speedup"] = (report["runs"]["flat"]["global_phase_s"] / hier
+                         if hier > 0 else float("inf"))
+    return report
+
+
+def render_merge_report(report: dict) -> str:
+    """The ablation as a fixed-width table (committed under results/)."""
+    lines = [
+        f"global-merge ablation -- {report['workload']}, "
+        f"{report['num_rows']} rows, {report['num_dimensions']} "
+        f"dimensions, {report['num_partitions']} random partitions on "
+        f"{report['num_executors']} executors "
+        f"(python {report['python']})",
+        "",
+        f"{'strategy':<14}{'global phase':>14}{'rounds':>8}"
+        f"{'round tasks':>18}{'skyline rows':>14}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for strategy in ("flat", "hierarchical"):
+        run = report["runs"][strategy]
+        tasks = ",".join(str(n) for n in run["round_tasks"]) or "-"
+        lines.append(
+            f"{strategy:<14}{run['global_phase_s']:>13.4f}s"
+            f"{run['rounds_completed']:>8}{tasks:>18}"
+            f"{run['skyline_rows']:>14}")
+    hier = report["runs"]["hierarchical"]
+    lines.append("")
+    lines.append(f"merge tree: {hier['tree']}")
+    lines.append(f"summary shortcuts: {hier['short_circuits']} "
+                 f"dominated partials dropped, {hier['concat_merges']} "
+                 f"disjoint concatenations")
+    lines.append(f"bit-identical answers: {report['bit_identical']}")
+    lines.append(f"global-phase speedup: {report['speedup']:.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover
+    """Standalone entry point mirroring ``repro.bench --global-merge``."""
+    from .smoke import main as smoke_main
+    return smoke_main(["--global-merge", *(argv or [])])

@@ -15,6 +15,9 @@ from .dominance import (BoundDimension, DimensionKind, DominanceStats,
                         compare, dominates, dominates_incomplete,
                         equal_on_dimensions, has_null_dimension,
                         null_bitmap)
+from .merge import (MergeSummary, build_summaries, hierarchical_merge,
+                    merge_round_sizes, merge_skylines, merge_unsafe_reason,
+                    tree_shape, vec_merge_skylines)
 from .incomplete import (flagged_global_skyline, gulzar_global_skyline,
                          local_skylines_incomplete,
                          partition_by_null_bitmap)
@@ -31,6 +34,7 @@ __all__ = [
     "BoundDimension",
     "DimensionKind",
     "DominanceStats",
+    "MergeSummary",
     "angle_partitions",
     "grid_partitions",
     "partition_rows",
@@ -48,8 +52,13 @@ __all__ = [
     "flagged_global_skyline",
     "gulzar_global_skyline",
     "has_null_dimension",
+    "hierarchical_merge",
     "local_skylines_incomplete",
     "make_dimensions",
+    "build_summaries",
+    "merge_round_sizes",
+    "merge_skylines",
+    "merge_unsafe_reason",
     "monotone_score",
     "non_distributed_complete",
     "null_bitmap",
@@ -60,7 +69,9 @@ __all__ = [
     "sfs_complete",
     "sfs_skyline",
     "skyline",
+    "tree_shape",
     "vec_bnl_skyline",
+    "vec_merge_skylines",
     "vec_flagged_global_skyline",
     "vec_sfs_skyline",
 ]

@@ -85,6 +85,16 @@ LOCAL_STATS_MAX_ROWS = 4096
 _PRESERVING = (L.Filter, L.Distinct, L.Sort, L.SubqueryAlias, L.Limit,
                L.Project)
 
+#: Fewer local skylines than this and a merge tree is all stage
+#: overhead: the flat single-task global pass wins.
+MERGE_MIN_PARTIALS = 3
+#: Ceiling on the chosen merge fan-in; beyond this each merge task is
+#: itself so large the tree degenerates toward the flat pass.
+MERGE_MAX_FAN_IN = 8
+#: Estimated input rows below which the whole global phase is too cheap
+#: for multi-round scheduling (per-stage overhead dominates).
+MERGE_MIN_ROWS = 2048
+
 
 @dataclass(frozen=True)
 class CostDecision:
@@ -186,6 +196,103 @@ def applied_decision(model: "PlanDecision | None", algorithm: str,
         grid_cells_per_dim=None, estimated_rows=model.estimated_rows,
         skyline_density=model.skyline_density,
         stats_lines=model.stats_lines)
+
+
+# ---------------------------------------------------------------------------
+# Global-merge strategy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MergeDecision:
+    """How the global phase merges local skylines, for EXPLAIN.
+
+    ``strategy`` is ``"flat"`` (one single-threaded all-pairs task) or
+    ``"hierarchical"`` (the tournament-tree merge of
+    :mod:`repro.core.merge`).  ``tree`` renders the planned round
+    sizes; the executed shape can differ when summary shortcuts prune
+    whole partials at run time.
+    """
+
+    strategy: str
+    fan_in: int | None
+    est_partials: int | None
+    est_rounds: int | None
+    tree: str | None
+    reason: str
+
+    def describe(self) -> str:
+        lines = [f"global merge = {self.strategy:<26} -- {self.reason}"]
+        if self.strategy == "hierarchical":
+            lines.append(
+                f"fan-in       = {self.fan_in:<26} -- "
+                f"ceil(partials / executors), clamped to "
+                f"[2, {MERGE_MAX_FAN_IN}]")
+            lines.append(
+                f"merge tree   = {self.tree} "
+                f"({self.est_rounds} rounds planned)")
+        return "\n".join(lines)
+
+
+def choose_global_merge(algorithm: str, *, num_executors: int,
+                        est_partials: int,
+                        estimated_rows: int | None = None,
+                        dimensions_nullable: bool = False,
+                        forced: str = "auto",
+                        fan_in: int | None = None) -> MergeDecision:
+    """Pick the global-merge strategy for one skyline operator.
+
+    Correctness gates come first and cannot be overridden: flag-based
+    dominance (incomplete data) and nullable skyline dimensions are
+    non-transitive, where a merge tree may drop rows the flat pass
+    keeps, so those queries always take the flat global phase -- even
+    under ``global_merge="hierarchical"``.
+    """
+
+    def flat(reason: str) -> MergeDecision:
+        return MergeDecision(strategy="flat", fan_in=None,
+                             est_partials=est_partials, est_rounds=None,
+                             tree=None, reason=reason)
+
+    if algorithm == "distributed-incomplete":
+        return flat("flag-based dominance is not transitive; pairwise "
+                    "merging of flagged partials is unsound")
+    if dimensions_nullable:
+        return flat("nullable skyline dimension(s): incomplete rows make "
+                    "dominance non-transitive")
+    if algorithm not in ("distributed-complete", "sfs"):
+        return flat("single global task only (no local skylines to merge)")
+    if forced == "flat":
+        return flat("forced by session configuration")
+    if est_partials < 2:
+        return flat("a single local skyline needs no merging")
+    if forced != "hierarchical":
+        if num_executors < 2:
+            return flat("one executor: merge rounds cannot run in parallel")
+        if est_partials < MERGE_MIN_PARTIALS:
+            return flat(f"only {est_partials} local skylines "
+                        f"(< {MERGE_MIN_PARTIALS}); per-stage overhead "
+                        f"would dominate")
+        if estimated_rows is not None and estimated_rows < MERGE_MIN_ROWS:
+            return flat(f"~{estimated_rows} input rows "
+                        f"(< {MERGE_MIN_ROWS}); the flat merge is "
+                        f"already cheap")
+    # Late import: repro.core.merge pulls in the engine batch plane,
+    # which this module otherwise does not need at import time.
+    from ..core.merge import merge_round_sizes, tree_shape
+    chosen = fan_in if fan_in is not None else max(
+        2, min(MERGE_MAX_FAN_IN,
+               math.ceil(est_partials / max(1, num_executors))))
+    chosen = max(2, int(chosen))
+    reason = "forced by session configuration" \
+        if forced == "hierarchical" else (
+            f"~{est_partials} local skylines over {num_executors} "
+            f"executors amortise the serial merge tail")
+    return MergeDecision(
+        strategy="hierarchical", fan_in=chosen,
+        est_partials=est_partials,
+        est_rounds=len(merge_round_sizes(est_partials, chosen)) - 1,
+        tree=tree_shape(est_partials, chosen), reason=reason)
 
 
 # ---------------------------------------------------------------------------

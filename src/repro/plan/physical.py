@@ -20,8 +20,15 @@ import math
 from typing import Any, Callable, Sequence
 
 from ..core.dominance import BoundDimension, DimensionKind, null_bitmap
+from ..core.merge import (batch_merge_unsafe_reason, build_summaries,
+                          merge_partials_task, merge_round_sizes,
+                          merge_unsafe_reason, reduce_group, tree_shape,
+                          vec_merge_batches_task, vec_merge_partials_task)
 from ..core.partitioning import partition_rows
-from ..core.vectorized import KernelSet, select_kernels
+from ..core.sfs import monotone_score
+from ..core.vectorized import (KernelSet, _monotone_scores, columnize,
+                               columnize_batch, select_kernels)
+from ..core.vectorized import np as _np
 from ..engine import expressions as E
 from ..engine.backends import StageTask
 from ..engine.batch import ColumnBatch
@@ -801,13 +808,18 @@ class _SkylineExec(PhysicalPlan):
     batch_kernel_attr: str | None = None
 
     def __init__(self, items: Sequence[E.SkylineDimension], distinct: bool,
-                 child: PhysicalPlan, vectorized: bool = False) -> None:
+                 child: PhysicalPlan, vectorized: bool = False,
+                 merge=None) -> None:
         super().__init__()
         self.children = (child,)
         self.items = list(items)
         self.distinct = distinct
         self.dims = _bind_dimensions(items, child.output)
         self.kernels: KernelSet = select_kernels(vectorized)
+        #: The planner's :class:`~repro.plan.cost.MergeDecision` for the
+        #: global phase (``None`` on local operators and legacy
+        #: constructions: the flat single-task merge).
+        self.merge_plan = merge
 
     @property
     def output(self) -> list[E.AttributeReference]:
@@ -867,6 +879,218 @@ class _SkylineExec(PhysicalPlan):
         if self.kernels.name == "vectorized":
             return f"vectorized {algorithm}"
         return algorithm
+
+    # -- hierarchical global merge (tournament tree) ---------------------
+
+    def _merge_tag(self) -> str:
+        plan = self.merge_plan
+        if plan is not None and plan.strategy == "hierarchical":
+            return f" [merge tree fan-in {plan.fan_in}]"
+        return ""
+
+    def _record_flat_merge(self, ctx: ExecutionContext,
+                           fallback: str | None = None) -> None:
+        """Surface the (flat) global-merge shape in the context metrics.
+
+        ``fallback`` carries the *runtime* reason a planned hierarchical
+        merge dropped back to the flat pass (unmergeable data, too few
+        partials); the planner-side reason lives in ``reason``.
+        """
+        plan = self.merge_plan
+        ctx.global_merge = {
+            "strategy": "flat", "fan_in": None, "partials": None,
+            "tree": None,
+            "reason": plan.reason if plan is not None
+            else "single-task global phase",
+            "rounds_planned": 0, "rounds_completed": 0,
+            "round_tasks": [], "concat_merges": 0, "short_circuits": 0,
+            "fallback": fallback,
+        }
+
+    def _init_merge_info(self, ctx: ExecutionContext,
+                         num_partials: int) -> dict:
+        plan = self.merge_plan
+        info = {
+            "strategy": "hierarchical", "fan_in": plan.fan_in,
+            "partials": num_partials,
+            "tree": tree_shape(num_partials, plan.fan_in),
+            "reason": plan.reason,
+            "rounds_planned":
+                len(merge_round_sizes(num_partials, plan.fan_in)) - 1,
+            "rounds_completed": 0, "round_tasks": [],
+            "concat_merges": 0, "short_circuits": 0, "fallback": None,
+        }
+        ctx.global_merge = info
+        return info
+
+    def _scores_finite_rows(self, rows) -> bool | None:
+        """Whether every SFS monotone score is finite (``None``:
+        not computable -- non-numeric dimension values)."""
+        try:
+            return all(math.isfinite(monotone_score(row, self.dims))
+                       for row in rows)
+        except TypeError:
+            return None
+
+    def _scores_finite_batches(self, parts: Sequence[ColumnBatch]
+                               ) -> bool | None:
+        for part in parts:
+            block = columnize_batch(part, self.dims)
+            if block is None:
+                finite = self._scores_finite_rows(part.to_rows())
+            else:
+                finite = bool(_np.isfinite(
+                    _monotone_scores(block.values)).all())
+            if finite is not True:
+                return finite
+        return True
+
+    def _run_merge_rounds(self, ctx: ExecutionContext, partials: list,
+                          merge_func: Callable, *, blocks_of: Callable,
+                          size_of: Callable, concat: Callable | None):
+        """Execute the merge tree as real scheduled stages.
+
+        ``partials`` are row lists or :class:`ColumnBatch`es (opaque
+        here); each round recomputes the grid summaries from the
+        *surviving* rows -- a stale summary could claim dominance rows
+        it no longer has -- reduces every consecutive fan-in group with
+        the shortcut rules, and runs one merge task per group that
+        still needs comparisons.  Retry/deadline semantics ride on
+        :meth:`ExecutionContext.run_stage` per round.
+        """
+        plan = self.merge_plan
+        info = ctx.global_merge
+        fan_in = max(2, plan.fan_in or 2)
+        rounds = 0
+        while len(partials) > 1:
+            rounds += 1
+            stage = f"{self.stage_name()}.round{rounds}"
+            summaries = build_summaries(
+                [blocks_of(p) for p in partials])
+            next_partials: list = []
+            tasks: list[StageTask] = []
+            slots: list[int] = []
+            for g in range(0, len(partials), fan_in):
+                group = partials[g:g + fan_in]
+                gsum = summaries[g:g + fan_in] \
+                    if summaries is not None else None
+                segments = reduce_group(group, gsum, info, concat)
+                if len(segments) == 1:
+                    next_partials.append(segments[0])
+                    continue
+                next_partials.append(None)
+                slots.append(len(next_partials) - 1)
+                args = (segments, self.dims, self.distinct)
+                tasks.append(StageTask(
+                    partition=len(tasks),
+                    rows_in=sum(size_of(s) for s in segments),
+                    fn=functools.partial(
+                        merge_func, *args,
+                        check_deadline=ctx.check_deadline),
+                    func=merge_func, args=args,
+                    kernel=self.kernels.name))
+            if tasks:
+                ctx.record_shuffle(stage, sum(t.rows_in for t in tasks))
+                results = ctx.run_stage(stage, tasks)
+                for slot, result in zip(slots, results):
+                    next_partials[slot] = result
+            info["round_tasks"].append(len(tasks))
+            info["rounds_completed"] = rounds
+            partials = next_partials
+        return partials[0]
+
+    def _try_hierarchical_rows(self, ctx: ExecutionContext,
+                               child_out: "RDD | BatchRDD",
+                               sfs: bool = False) -> "RDD | None":
+        """The multi-round merge over row partials, or ``None`` when the
+        flat global phase should run (shape recorded either way)."""
+        plan = self.merge_plan
+        if plan is None or plan.strategy != "hierarchical":
+            self._record_flat_merge(ctx)
+            return None
+        partials = [list(p) for p in _rows_rdd(child_out).partitions if p]
+        if len(partials) < 2:
+            self._record_flat_merge(
+                ctx, fallback="fewer than two non-empty local skylines")
+            return None
+        reason = merge_unsafe_reason(partials, self.dims)
+        if reason is not None:
+            self._record_flat_merge(ctx, fallback=reason)
+            return None
+        finalize = None
+        if sfs:
+            finite = self._scores_finite_rows(
+                row for part in partials for row in part)
+            if finite is None:
+                self._record_flat_merge(
+                    ctx, fallback="non-numeric skyline dimension values")
+                return None
+            if finite:
+                # All-finite scores: the flat global SFS task would
+                # sort; reproduce it with one final SFS pass over the
+                # merged skyline.  Non-finite scores pin flat SFS to
+                # its BNL fallback -- which the merge tree *is*.
+                finalize = self.kernels.local_sfs
+        self._init_merge_info(ctx, len(partials))
+        merge_func = vec_merge_partials_task \
+            if self.kernels.name == "vectorized" else merge_partials_task
+        merged = self._run_merge_rounds(
+            ctx, partials, merge_func,
+            blocks_of=lambda p: columnize(p, self.dims),
+            size_of=len, concat=None)
+        if finalize is not None:
+            fstage = f"{self.stage_name()}.finalize"
+            ctx.record_shuffle(fstage, len(merged))
+            task = functools.partial(finalize, merged, self.dims,
+                                     self.distinct,
+                                     check_deadline=ctx.check_deadline)
+            merged = ctx.run_task(fstage, 0, task, len(merged),
+                                  parallelizable=False,
+                                  kernel=self.kernels.name)
+        return RDD([merged])
+
+    def _try_hierarchical_batches(self, ctx: ExecutionContext,
+                                  batches: "BatchRDD",
+                                  sfs: bool = False) -> "BatchRDD | None":
+        """Batch-plane twin of :meth:`_try_hierarchical_rows`."""
+        plan = self.merge_plan
+        if plan is None or plan.strategy != "hierarchical":
+            self._record_flat_merge(ctx)
+            return None
+        parts = [b for b in batches.batches if b.num_rows]
+        if len(parts) < 2:
+            self._record_flat_merge(
+                ctx, fallback="fewer than two non-empty local skylines")
+            return None
+        reason = batch_merge_unsafe_reason(parts, self.dims)
+        if reason is not None:
+            self._record_flat_merge(ctx, fallback=reason)
+            return None
+        finalize = None
+        if sfs:
+            finite = self._scores_finite_batches(parts)
+            if finite is None:
+                self._record_flat_merge(
+                    ctx, fallback="non-numeric skyline dimension values")
+                return None
+            if finite:
+                finalize = self._batch_kernel()
+        self._init_merge_info(ctx, len(parts))
+        merged = self._run_merge_rounds(
+            ctx, parts, vec_merge_batches_task,
+            blocks_of=lambda b: columnize_batch(b, self.dims),
+            size_of=lambda b: b.num_rows,
+            concat=lambda items: ColumnBatch.concat(list(items)))
+        if finalize is not None:
+            fstage = f"{self.stage_name()}.finalize"
+            ctx.record_shuffle(fstage, merged.num_rows)
+            task = functools.partial(finalize, merged, self.dims,
+                                     self.distinct,
+                                     check_deadline=ctx.check_deadline)
+            merged = ctx.run_task(fstage, 0, task, merged.num_rows,
+                                  parallelizable=False,
+                                  kernel=self.kernels.name)
+        return BatchRDD([merged])
 
 
 class SkylineRepartitionExec(PhysicalPlan):
@@ -976,7 +1200,13 @@ class SkylineGlobalCompleteExec(_SkylineExec):
         stage = self.stage_name()
         batches = self._batch_input(child_out)
         if batches is not None:
+            merged = self._try_hierarchical_batches(ctx, batches)
+            if merged is not None:
+                return merged
             return self._global_batch_execute(ctx, batches)
+        merged = self._try_hierarchical_rows(ctx, child_out)
+        if merged is not None:
+            return merged
         rows = _rows_rdd(child_out).collect()
         ctx.record_shuffle(stage, len(rows))
         task = functools.partial(self.kernels.local_bnl, rows, self.dims,
@@ -990,7 +1220,7 @@ class SkylineGlobalCompleteExec(_SkylineExec):
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
         return f"SkylineGlobalComplete({self._kernel_label('BNL')}, " \
-               f"[{dims}])" + self._mode_tag()
+               f"[{dims}])" + self._mode_tag() + self._merge_tag()
 
 
 class SkylineLocalIncompleteExec(_SkylineExec):
@@ -1067,6 +1297,9 @@ class SkylineGlobalIncompleteExec(_SkylineExec):
     def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
         child_out = self.children[0].execute(ctx)
         stage = self.stage_name()
+        # Flag-based dominance is not transitive; pairwise merging of
+        # flagged partials is unsound, so this node is always flat.
+        self._record_flat_merge(ctx)
         batches = self._batch_input(child_out)
         if batches is not None:
             return self._global_batch_execute(ctx, batches)
@@ -1123,7 +1356,13 @@ class SkylineGlobalSFSExec(_SkylineExec):
         stage = self.stage_name()
         batches = self._batch_input(child_out)
         if batches is not None:
+            merged = self._try_hierarchical_batches(ctx, batches, sfs=True)
+            if merged is not None:
+                return merged
             return self._global_batch_execute(ctx, batches)
+        merged = self._try_hierarchical_rows(ctx, child_out, sfs=True)
+        if merged is not None:
+            return merged
         rows = _rows_rdd(child_out).collect()
         ctx.record_shuffle(stage, len(rows))
         task = functools.partial(self.kernels.local_sfs, rows, self.dims,
@@ -1137,4 +1376,4 @@ class SkylineGlobalSFSExec(_SkylineExec):
     def node_description(self) -> str:
         dims = ", ".join(i.sql() for i in self.items)
         return f"SkylineGlobalSFS({self._kernel_label('SFS')}, " \
-               f"[{dims}])" + self._mode_tag()
+               f"[{dims}])" + self._mode_tag() + self._merge_tag()

@@ -42,6 +42,12 @@ PARTITIONING_SCHEMES = ("keep", "random", "grid", "angle")
 #: Strategies whose local stage accepts a partitioning override.
 _PARTITIONABLE = ("distributed-complete", "sfs")
 
+#: Valid values of the ``global_merge`` session option: ``auto`` lets
+#: the cost model pick, ``flat``/``hierarchical`` force the global
+#: phase's merge strategy (hierarchical still falls back to flat when
+#: dominance is not transitive -- incomplete data, nullable dims).
+GLOBAL_MERGE_STRATEGIES = ("auto", "flat", "hierarchical")
+
 
 class Planner:
     """Lowers logical plans to physical plans.
@@ -62,7 +68,9 @@ class Planner:
                  partitioning: str = "keep",
                  num_partitions: int | None = None,
                  vectorized: bool = False,
-                 columnar: bool = False) -> None:
+                 columnar: bool = False,
+                 global_merge: str = "auto",
+                 merge_fan_in: int | None = None) -> None:
         if skyline_strategy not in SKYLINE_STRATEGIES:
             raise PlanningError(
                 f"unknown skyline strategy {skyline_strategy!r}; expected "
@@ -71,6 +79,12 @@ class Planner:
             raise PlanningError(
                 f"unknown partitioning scheme {partitioning!r}; expected "
                 f"one of {PARTITIONING_SCHEMES}")
+        if global_merge not in GLOBAL_MERGE_STRATEGIES:
+            raise PlanningError(
+                f"unknown global merge strategy {global_merge!r}; "
+                f"expected one of {GLOBAL_MERGE_STRATEGIES}")
+        if merge_fan_in is not None and merge_fan_in < 2:
+            raise PlanningError("merge_fan_in must be >= 2")
         self.skyline_strategy = skyline_strategy
         self.catalog = catalog
         self.num_executors = num_executors
@@ -84,8 +98,16 @@ class Planner:
         #: scans columnize their partitions and the batch-capable
         #: operators exchange :class:`~repro.engine.batch.ColumnBatch`es.
         self.columnar = columnar
+        #: Global-merge strategy ("auto"/"flat"/"hierarchical") and an
+        #: optional forced fan-in for the hierarchical merge tree.
+        self.global_merge = global_merge
+        self.merge_fan_in = merge_fan_in
         #: One entry per planned skyline operator, in plan order.
         self.decisions: list = []
+        #: One :class:`~repro.plan.cost.MergeDecision` per planned
+        #: skyline operator, in plan order (EXPLAIN's Global Merge
+        #: section).
+        self.merge_decisions: list = []
 
     def settings_key(self) -> tuple:
         """Hashable snapshot of every planning-relevant setting.
@@ -98,7 +120,8 @@ class Planner:
         """
         return (self.skyline_strategy, self.num_executors,
                 self.max_workers, self.partitioning, self.num_partitions,
-                self.vectorized, self.columnar)
+                self.vectorized, self.columnar, self.global_merge,
+                self.merge_fan_in)
 
     # -- entry point ------------------------------------------------------
 
@@ -197,7 +220,8 @@ class Planner:
     # -- skyline (Listing 8) -------------------------------------------------------
 
     def _plan_skyline(self, node: L.SkylineOperator) -> P.PhysicalPlan:
-        from .cost import CostModel, applied_decision
+        from .cost import (CostModel, applied_decision, choose_global_merge,
+                           estimate_input_rows)
 
         child = self.plan(node.child)
         items = node.skyline_items
@@ -238,6 +262,15 @@ class Planner:
         self.decisions.append(applied_decision(
             decision, strategy, partitioning if applies else "keep",
             applied_count, auto=self.skyline_strategy == "auto"))
+        merge = choose_global_merge(
+            strategy,
+            num_executors=self.num_executors,
+            est_partials=applied_count if applies else self.num_executors,
+            estimated_rows=decision.estimated_rows if decision is not None
+            else estimate_input_rows(node),
+            dimensions_nullable=node.dimensions_nullable,
+            forced=self.global_merge, fan_in=self.merge_fan_in)
+        self.merge_decisions.append(merge)
         vectorized = self.vectorized
         if applies:
             child = P.SkylineRepartitionExec(
@@ -247,20 +280,24 @@ class Planner:
             local = P.SkylineLocalExec(items, node.distinct, child,
                                        vectorized=vectorized)
             return P.SkylineGlobalCompleteExec(items, node.distinct, local,
-                                               vectorized=vectorized)
+                                               vectorized=vectorized,
+                                               merge=merge)
         if strategy == "non-distributed-complete":
             return P.SkylineGlobalCompleteExec(items, node.distinct, child,
-                                               vectorized=vectorized)
+                                               vectorized=vectorized,
+                                               merge=merge)
         if strategy == "distributed-incomplete":
             local = P.SkylineLocalIncompleteExec(items, node.distinct, child,
                                                  vectorized=vectorized)
             return P.SkylineGlobalIncompleteExec(items, node.distinct, local,
-                                                 vectorized=vectorized)
+                                                 vectorized=vectorized,
+                                                 merge=merge)
         if strategy == "sfs":
             local = P.SkylineLocalSFSExec(items, node.distinct, child,
                                           vectorized=vectorized)
             return P.SkylineGlobalSFSExec(items, node.distinct, local,
-                                          vectorized=vectorized)
+                                          vectorized=vectorized,
+                                          merge=merge)
         raise PlanningError(f"unhandled skyline strategy {strategy!r}")
 
 

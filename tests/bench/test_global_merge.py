@@ -1,0 +1,54 @@
+"""Global-merge ablation bench (`repro.bench --global-merge`)."""
+
+import json
+
+from repro.bench.global_merge import (measure_merge_speedup,
+                                      render_merge_report)
+from repro.bench.smoke import main
+
+
+class TestMeasureMergeSpeedup:
+    def test_report_shape_and_bit_identity(self):
+        report = measure_merge_speedup(num_rows=2000, num_partitions=12,
+                                       repeats=1)
+        encoded = json.loads(json.dumps(report))
+        assert encoded["kind"] == "global_merge"
+        assert encoded["bit_identical"] is True
+        assert encoded["speedup"] > 0
+        flat = encoded["runs"]["flat"]
+        hier = encoded["runs"]["hierarchical"]
+        assert flat["strategy"] == "flat"
+        assert flat["rounds_completed"] == 0
+        assert hier["strategy"] == "hierarchical"
+        assert hier["rounds_completed"] >= 2
+        assert hier["skyline_rows"] == flat["skyline_rows"] > 0
+        assert hier["fallback"] is None
+
+    def test_render_report(self):
+        report = measure_merge_speedup(num_rows=1500, num_partitions=8,
+                                       repeats=1)
+        text = render_merge_report(report)
+        assert "global-merge ablation" in text
+        assert "hierarchical" in text
+        assert "bit-identical answers: True" in text
+        assert "speedup" in text
+
+
+class TestCli:
+    def test_global_merge_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        status = main(["--global-merge", "--rows", "1500"])
+        assert status == 0
+        report = json.loads(
+            (tmp_path / "BENCH_global_merge.json").read_text())
+        assert report["bit_identical"] is True
+        assert "global-merge ablation" in capsys.readouterr().out
+
+    def test_min_merge_speedup_gate_fails_when_unmet(self, tmp_path,
+                                                     monkeypatch,
+                                                     capsys):
+        monkeypatch.chdir(tmp_path)
+        status = main(["--global-merge", "--rows", "1500",
+                       "--min-merge-speedup", "1000000"])
+        assert status == 1
+        assert "FAIL" in capsys.readouterr().err

@@ -1,0 +1,269 @@
+"""Differential grid for the hierarchical global merge.
+
+Every cell runs the same skyline query twice -- hierarchical
+tournament-tree merge vs the flat all-pairs oracle -- on sessions that
+differ in *nothing else*, and requires the answers bit-identical,
+order included.  The grid crosses tree shapes (executor counts),
+fan-ins, partitioning schemes, backends, and kernel families; chaos
+and deadline legs prove the tree composes with the fault-tolerance
+layer, and the nullable regression pins the planner's refusal to
+merge incomplete data pairwise.
+"""
+
+import math
+
+import pytest
+
+from repro import DOUBLE, INTEGER, STRING, SessionConfig, SkylineSession
+from repro.engine.cluster import ExecutionContext
+from repro.engine.faults import FaultPlan, activate
+from repro.errors import QueryTimeout
+
+SQL = "SELECT name, a, b, c FROM t SKYLINE OF a MIN, b MIN, c MAX"
+
+
+def make_rows(n=4000, seed=17):
+    """Deterministic anti-correlated-ish rows with heavy ties."""
+    rows = []
+    state = seed
+    for i in range(n):
+        state = (state * 1103515245 + 12345) % (2 ** 31)
+        a = (state >> 8) % 997
+        b = 997 - a + state % 13
+        c = state % 61
+        rows.append((f"r{i}", float(a), float(b), float(c)))
+    return rows
+
+
+ROWS = make_rows()
+SCHEMA = [("name", STRING, False), ("a", DOUBLE, False),
+          ("b", DOUBLE, False), ("c", DOUBLE, False)]
+
+
+def run_query(rows=ROWS, sql=SQL, **config):
+    session = SkylineSession(config=SessionConfig(**config))
+    session.create_table("t", SCHEMA, rows)
+    return session.sql(sql).run()
+
+
+class TestDifferentialGrid:
+    @pytest.mark.parametrize("num_executors", [6, 10])
+    @pytest.mark.parametrize("fan_in", [2, 4])
+    @pytest.mark.parametrize("partitioning",
+                             ["keep", "random", "grid"])
+    @pytest.mark.parametrize("backend", ["local", "thread"])
+    def test_bit_identical_to_flat_oracle(self, num_executors, fan_in,
+                                          partitioning, backend):
+        common = dict(num_executors=num_executors, backend=backend,
+                      skyline_partitioning=partitioning)
+        oracle = run_query(global_merge="flat", **common)
+        tree = run_query(global_merge="hierarchical",
+                         merge_fan_in=fan_in, **common)
+        assert tree.as_tuples() == oracle.as_tuples()
+        merge = tree.global_merge
+        assert merge["strategy"] == "hierarchical"
+        assert merge["fallback"] is None
+        assert merge["rounds_completed"] == merge["rounds_planned"] > 0
+        assert len(merge["round_tasks"]) == merge["rounds_completed"]
+
+    def test_two_tree_shapes_actually_differ(self):
+        small = run_query(num_executors=6, global_merge="hierarchical")
+        large = run_query(num_executors=10, global_merge="hierarchical")
+        assert small.global_merge["tree"] == "6 -> 3 -> 2 -> 1"
+        assert large.global_merge["tree"] == "10 -> 5 -> 3 -> 2 -> 1"
+        assert small.as_tuples() == large.as_tuples()
+
+    @pytest.mark.parametrize("vectorized,columnar",
+                             [(False, False), (True, True),
+                              (True, False)])
+    def test_kernel_families_agree(self, vectorized, columnar):
+        try:
+            common = dict(num_executors=8, vectorized=vectorized,
+                          columnar=columnar)
+        except ValueError:
+            pytest.skip("NumPy unavailable")
+        try:
+            oracle = run_query(global_merge="flat", **common)
+        except ValueError:
+            pytest.skip("NumPy unavailable")
+        tree = run_query(global_merge="hierarchical", **common)
+        assert tree.as_tuples() == oracle.as_tuples()
+
+    def test_sfs_algorithm_merges_hierarchically(self):
+        common = dict(num_executors=8, skyline_algorithm="sfs")
+        oracle = run_query(global_merge="flat", **common)
+        tree = run_query(global_merge="hierarchical", **common)
+        assert tree.as_tuples() == oracle.as_tuples()
+        assert tree.global_merge["strategy"] == "hierarchical"
+
+    def test_explain_reports_merge_section(self):
+        session = SkylineSession(config=SessionConfig(
+            num_executors=10, global_merge="hierarchical"))
+        session.create_table("t", SCHEMA, ROWS)
+        text = session.explain(session.sql(SQL).plan)
+        assert "== Global Merge ==" in text
+        assert "hierarchical" in text
+        assert "10 -> 5 -> 3 -> 2 -> 1" in text
+        assert "[merge tree fan-in 2]" in text
+
+    def test_stage_metrics_surface_rounds(self):
+        result = run_query(num_executors=10,
+                           global_merge="hierarchical")
+        summary = result.context.summary()
+        assert summary["global_merge"]["strategy"] == "hierarchical"
+        round_stages = [s for s in summary["stages"]
+                        if ".round" in s["name"]]
+        assert [s["tasks"] for s in round_stages] == \
+            result.global_merge["round_tasks"]
+
+
+class TestRuntimeFallbacks:
+    def test_nan_values_force_flat_at_runtime(self):
+        # NaN breaks dominance transitivity, which the planner cannot
+        # see (schema says non-nullable DOUBLE); the executor must
+        # detect it per query and run the all-pairs phase instead.
+        rows = ROWS[:200] + [("nanrow", float("nan"), 1.0, 2.0)]
+        oracle = run_query(rows=rows, num_executors=6,
+                           global_merge="flat")
+        tree = run_query(rows=rows, num_executors=6,
+                         global_merge="hierarchical")
+
+        def nan_key(t):
+            return tuple("NaN" if isinstance(v, float) and math.isnan(v)
+                         else v for v in t)
+
+        assert [nan_key(t) for t in tree.as_tuples()] == \
+            [nan_key(t) for t in oracle.as_tuples()]
+        merge = tree.global_merge
+        assert merge["strategy"] == "flat"
+        assert "NaN" in merge["fallback"]
+
+    def test_single_partial_needs_no_tree(self):
+        result = run_query(num_executors=1, global_merge="hierarchical")
+        assert result.global_merge["strategy"] == "flat"
+
+
+class TestNullableNeverHierarchical:
+    """The planner must NEVER merge pairwise when a skyline dimension
+    is nullable: with incomplete rows, dominance is not transitive, so
+    a partial-local dominator can erase a row its victim was protecting
+    globally (see tests/core/test_merge.py for the value-level
+    counterexample).
+    """
+
+    NULLABLE_SCHEMA = [("id", INTEGER, False), ("a", INTEGER, True),
+                       ("b", INTEGER, True)]
+    #: Incomplete-data counterexample shape: (1, None) and (None, 5)
+    #: are mutually incomparable with (0, 2) only pairwise-locally.
+    NULLABLE_ROWS = [(1, 1, None), (2, None, 5), (3, 0, 2), (4, 7, 7)]
+
+    def nullable_session(self, **overrides):
+        session = SkylineSession(config=SessionConfig(
+            num_executors=4, **overrides))
+        session.create_table("t", self.NULLABLE_SCHEMA,
+                             self.NULLABLE_ROWS)
+        return session
+
+    def test_incomplete_algorithm_is_always_flat(self):
+        session = self.nullable_session(global_merge="hierarchical")
+        result = session.sql(
+            "SELECT id, a, b FROM t SKYLINE OF a MIN, b MIN").run()
+        merge = result.global_merge
+        assert merge["strategy"] == "flat"
+        assert "not transitive" in merge["reason"]
+
+    def test_complete_keyword_on_nullable_schema_stays_flat(self):
+        # COMPLETE forces the complete-data *algorithm*, but the merge
+        # decision still sees nullable dimensions and must refuse the
+        # tree -- even when the session forces hierarchical.
+        session = self.nullable_session(global_merge="hierarchical")
+        rows = [r for r in self.NULLABLE_ROWS
+                if r[1] is not None and r[2] is not None]
+        session2 = SkylineSession(config=SessionConfig(
+            num_executors=4, global_merge="hierarchical"))
+        session2.create_table("t", self.NULLABLE_SCHEMA, rows)
+        result = session2.sql(
+            "SELECT id, a, b FROM t "
+            "SKYLINE OF COMPLETE a MIN, b MIN").run()
+        merge = result.global_merge
+        assert merge["strategy"] == "flat"
+        assert "nullable" in merge["reason"]
+
+    def test_explain_shows_refusal_reason(self):
+        session = self.nullable_session(global_merge="hierarchical")
+        plan = session.sql(
+            "SELECT id, a, b FROM t SKYLINE OF a MIN, b MIN").plan
+        text = session.explain(plan)
+        assert "== Global Merge ==" in text
+        assert "flat" in text
+        assert "not transitive" in text
+
+
+class TestChaosLeg:
+    def test_poisoned_round_task_recovers_bit_identically(self):
+        # Crash the first task of merge round 1 on every attempt below
+        # the injection cap: the retry layer must re-run only that
+        # subtree and converge on the exact clean-run answer.
+        clean = run_query(num_executors=8, backend="thread",
+                          global_merge="hierarchical")
+        plan = FaultPlan(seed=11, poison="round1#0", max_injections=2)
+        with activate(plan):
+            chaotic = run_query(num_executors=8, backend="thread",
+                                global_merge="hierarchical")
+        assert chaotic.as_tuples() == clean.as_tuples()
+        assert chaotic.global_merge == clean.global_merge
+        stats = chaotic.context.fault_stats
+        assert stats.crash_recoveries >= 1
+        poisoned = [t for s in chaotic.context.stages
+                    if "round1" in s.name for t in s.tasks
+                    if t.partition == 0]
+        assert poisoned and poisoned[0].attempts > 1
+
+    def test_unrelated_stages_not_rerun(self):
+        plan = FaultPlan(seed=11, poison="round1#0", max_injections=2)
+        with activate(plan):
+            result = run_query(num_executors=8, backend="thread",
+                               global_merge="hierarchical")
+        for stage in result.context.stages:
+            if "round1" not in stage.name:
+                assert all(t.attempts == 1 for t in stage.tasks)
+
+
+class TestDeadlineMidTree:
+    def test_timeout_reports_completed_rounds(self, monkeypatch):
+        original = ExecutionContext.run_stage
+
+        def expiring(self, stage, tasks, parallelizable=True):
+            result = original(self, stage, tasks, parallelizable)
+            if ".round1" in stage:
+                # Collapse the budget the moment round 1 lands, so the
+                # next round's entry check trips mid-tree.
+                self.set_budget(0.0)
+            return result
+
+        monkeypatch.setattr(ExecutionContext, "run_stage", expiring)
+        with pytest.raises(QueryTimeout) as exc:
+            run_query(num_executors=10, global_merge="hierarchical",
+                      time_budget_s=60.0)
+        stats = exc.value.partial_stats
+        assert stats["merge_rounds_completed"] == 1
+        assert stats["merge_rounds_planned"] == 4
+        assert exc.value.budget == 0.0
+        assert exc.value.elapsed >= 0.0
+
+
+class TestConfigSurface:
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError, match="global_merge"):
+            SessionConfig(global_merge="tournament")
+
+    def test_invalid_fan_in_rejected(self):
+        with pytest.raises(ValueError, match="merge_fan_in"):
+            SessionConfig(merge_fan_in=1)
+
+    def test_fingerprint_distinguishes_merge_settings(self):
+        base = SessionConfig()
+        assert base.fingerprint() != \
+            SessionConfig(global_merge="flat").fingerprint()
+        assert SessionConfig(merge_fan_in=2).fingerprint() != \
+            SessionConfig(merge_fan_in=4).fingerprint()

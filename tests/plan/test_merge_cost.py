@@ -1,0 +1,103 @@
+"""Global-merge strategy selection (`choose_global_merge`)."""
+
+from repro.plan.cost import (MERGE_MIN_PARTIALS, MERGE_MIN_ROWS,
+                             choose_global_merge)
+
+
+def choose(**overrides):
+    kwargs = dict(num_executors=10, est_partials=10,
+                  estimated_rows=100_000)
+    kwargs.update(overrides)
+    algorithm = kwargs.pop("algorithm", "distributed-complete")
+    return choose_global_merge(algorithm, **kwargs)
+
+
+class TestCorrectnessGates:
+    """The non-overridable gates: non-transitive dominance regimes."""
+
+    def test_incomplete_algorithm_never_hierarchical(self):
+        decision = choose(algorithm="distributed-incomplete",
+                          forced="hierarchical")
+        assert decision.strategy == "flat"
+        assert "not transitive" in decision.reason
+
+    def test_nullable_dimensions_never_hierarchical(self):
+        decision = choose(dimensions_nullable=True,
+                          forced="hierarchical")
+        assert decision.strategy == "flat"
+        assert "nullable" in decision.reason
+
+    def test_non_distributed_has_no_partials_to_merge(self):
+        decision = choose(algorithm="non-distributed-complete",
+                          forced="hierarchical")
+        assert decision.strategy == "flat"
+
+    def test_single_partial_never_merged(self):
+        decision = choose(est_partials=1, forced="hierarchical")
+        assert decision.strategy == "flat"
+
+
+class TestAutoHeuristics:
+    def test_defaults_to_hierarchical_at_scale(self):
+        decision = choose()
+        assert decision.strategy == "hierarchical"
+        assert decision.fan_in == 2
+        assert decision.tree == "10 -> 5 -> 3 -> 2 -> 1"
+        assert decision.est_rounds == 4
+
+    def test_single_executor_stays_flat(self):
+        assert choose(num_executors=1).strategy == "flat"
+
+    def test_few_partials_stay_flat(self):
+        decision = choose(est_partials=MERGE_MIN_PARTIALS - 1)
+        assert decision.strategy == "flat"
+
+    def test_small_inputs_stay_flat(self):
+        decision = choose(estimated_rows=MERGE_MIN_ROWS - 1)
+        assert decision.strategy == "flat"
+
+    def test_unknown_cardinality_is_not_a_blocker(self):
+        assert choose(estimated_rows=None).strategy == "hierarchical"
+
+    def test_fan_in_scales_with_overcommit(self):
+        # 40 partials on 10 executors: fan-in 4 keeps round 1 at 10
+        # tasks, one per executor.
+        decision = choose(est_partials=40)
+        assert decision.fan_in == 4
+        assert decision.tree == "40 -> 10 -> 3 -> 1"
+
+    def test_fan_in_clamped_to_max(self):
+        decision = choose(est_partials=200, num_executors=2)
+        assert decision.fan_in == 8
+
+    def test_sfs_algorithm_eligible(self):
+        assert choose(algorithm="sfs").strategy == "hierarchical"
+
+
+class TestForcing:
+    def test_forced_flat(self):
+        decision = choose(forced="flat")
+        assert decision.strategy == "flat"
+        assert decision.reason == "forced by session configuration"
+
+    def test_forced_hierarchical_skips_profit_gates(self):
+        decision = choose(forced="hierarchical", num_executors=1,
+                          est_partials=2, estimated_rows=10)
+        assert decision.strategy == "hierarchical"
+
+    def test_explicit_fan_in_wins(self):
+        decision = choose(fan_in=5)
+        assert decision.fan_in == 5
+        assert decision.tree == "10 -> 2 -> 1"
+
+
+class TestDescribe:
+    def test_flat_renders_reason(self):
+        text = choose(forced="flat").describe()
+        assert "flat" in text and "forced by session" in text
+
+    def test_hierarchical_renders_tree(self):
+        text = choose().describe()
+        assert "hierarchical" in text
+        assert "10 -> 5 -> 3 -> 2 -> 1" in text
+        assert "4 rounds planned" in text
