@@ -138,6 +138,14 @@ class SessionConfig:
     merge_fan_in:
         Partials merged per task in each hierarchical round
         (``None`` = derived from executor count and partial count).
+    shared_memory:
+        Zero-copy shared-memory transport for the process backend's
+        columnar batches: ``"auto"`` (on where the platform serves
+        shm segments, e.g. Linux ``/dev/shm``), ``True`` (requested;
+        still degrades gracefully to pickling where unavailable) or
+        ``False``.  Only takes effect with ``backend="process"`` and
+        the columnar data plane; EXPLAIN marks each batch stage
+        ``[shm]`` or ``[pickle]``.
     """
 
     num_executors: int = 2
@@ -157,6 +165,7 @@ class SessionConfig:
     retry_backoff_s: float = 0.05
     global_merge: str = "auto"
     merge_fan_in: "int | None" = None
+    shared_memory: "bool | str" = "auto"
 
     def __post_init__(self) -> None:
         # Imported here: repro.plan imports repro.engine, which must not
@@ -210,6 +219,11 @@ class SessionConfig:
                 f"one of {GLOBAL_MERGE_STRATEGIES}")
         if self.merge_fan_in is not None and self.merge_fan_in < 2:
             raise ValueError("merge_fan_in must be >= 2")
+        if not (self.shared_memory is True or self.shared_memory is False
+                or self.shared_memory == "auto"):
+            raise ValueError(
+                f"shared_memory must be True, False or 'auto', got "
+                f"{self.shared_memory!r}")
 
     # -- derived views ----------------------------------------------------
 
@@ -228,6 +242,19 @@ class SessionConfig:
                 return False
             return numpy_available()
         return bool(self.columnar)
+
+    @property
+    def shared_memory_enabled(self) -> bool:
+        """True when process-backend batches may ship as shm handles.
+
+        ``True`` and ``"auto"`` both require the platform probe to
+        pass (no ``/dev/shm`` -> pickling, never an error): the flag
+        is a transport preference, not a hard capability claim.
+        """
+        if self.shared_memory is False:
+            return False
+        from ..engine.shm import shared_memory_available
+        return shared_memory_available()
 
     @property
     def backend_name(self) -> str:
@@ -255,6 +282,7 @@ class SessionConfig:
             self.columnar_enabled,
             self.global_merge,
             self.merge_fan_in,
+            self.shared_memory_enabled,
         )
 
     def retry_policy(self) -> RetryPolicy:

@@ -182,6 +182,10 @@ class SkylineSession:
         # share this spec by reference so at most one pool exists.
         self._backend_spec = BackendSpec(self.config.backend,
                                          self.config.num_workers)
+        # Lazy shared-memory store (process backend + columnar plane +
+        # shared_memory on); owns every exported segment of this
+        # session and is destroyed by close().
+        self._shm_store = None
 
     def _apply_config(self, config: SessionConfig) -> None:
         """Mirror the config onto the historical public attributes."""
@@ -245,9 +249,13 @@ class SkylineSession:
         return self._backend_spec.resolve()
 
     def close(self) -> None:
-        """Shut down the backend's worker pool (idempotent; the session
-        remains usable -- the pool is recreated on demand)."""
+        """Shut down the backend's worker pool and destroy any
+        shared-memory segments (idempotent; the session remains usable
+        -- pool and store are recreated on demand)."""
         self._backend_spec.close()
+        if self._shm_store is not None:
+            self._shm_store.close()
+            self._shm_store = None
 
     def __enter__(self) -> "SkylineSession":
         return self
@@ -496,6 +504,36 @@ class SkylineSession:
         ctx = ExecutionContext(self.cluster_config, backend=self.backend)
         return QueryResult(rows=rows, schema=schema, context=ctx)
 
+    # -- shared-memory transport ------------------------------------------
+
+    def _transport_mode(self) -> "str | None":
+        """How batch partitions travel to workers: ``"shm"`` /
+        ``"pickle"`` on the process backend's batch plane, ``None``
+        elsewhere (in-process backends never serialise batches)."""
+        if self._backend_spec.name != "process" \
+                or not self.columnar_enabled:
+            return None
+        return "shm" if self.config.shared_memory_enabled else "pickle"
+
+    def _mark_transport(self, physical) -> None:
+        """Stamp the per-stage transport marker EXPLAIN renders."""
+        transport = self._transport_mode()
+        if transport is None:
+            return
+        for node in physical.iter_tree():
+            if node.exec_mode == "batch":
+                node.transport = transport
+
+    def _shared_store(self):
+        """This session's :class:`~repro.engine.shm.SharedColumnStore`
+        (created lazily, ``None`` when the transport is not shm)."""
+        if self._transport_mode() != "shm":
+            return None
+        if self._shm_store is None or self._shm_store.closed:
+            from ..engine.shm import SharedColumnStore
+            self._shm_store = SharedColumnStore()
+        return self._shm_store
+
     def prepare(self, plan: LogicalPlan) -> PreparedQuery:
         """Run analysis, optimization, and physical planning only.
 
@@ -508,6 +546,7 @@ class SkylineSession:
         optimized = self.optimize(analyzed)
         planner = self._planner()
         physical = planner.plan(optimized)
+        self._mark_transport(physical)
         schema = Schema([Field(a.name, a.dtype, a.nullable)
                          for a in physical.output])
         return PreparedQuery(physical=physical, schema=schema,
@@ -516,11 +555,20 @@ class SkylineSession:
 
     def execute_prepared(self, prepared: PreparedQuery) -> QueryResult:
         """Execute a prepared physical plan on a fresh context."""
+        store = self._shared_store()
         ctx = ExecutionContext(self.cluster_config, backend=self.backend,
-                               retry_policy=self.config.retry_policy())
+                               retry_policy=self.config.retry_policy(),
+                               shm_store=store)
         ctx.set_budget(self._time_budget_s)
-        rdd = prepared.physical.execute(ctx)
-        rows = [Row(values, prepared.schema) for values in rdd.collect()]
+        try:
+            rdd = prepared.physical.execute(ctx)
+            rows = [Row(values, prepared.schema)
+                    for values in rdd.collect()]
+        finally:
+            if store is not None:
+                # Belt and braces: a failed stage may skip end_stage.
+                store.end_stage()
+                ctx.shm_stats = store.stats()
         return QueryResult(rows=rows, schema=prepared.schema, context=ctx)
 
     def execute(self, plan: LogicalPlan) -> QueryResult:
@@ -555,6 +603,7 @@ class SkylineSession:
         optimized = self.optimize(analyzed)
         planner = self._planner()
         physical = planner.plan(optimized)
+        self._mark_transport(physical)
         sections = [
             "== Analyzed Logical Plan ==",
             tree_string(analyzed),

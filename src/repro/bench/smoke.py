@@ -202,6 +202,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--max-chaos-overhead", type=float, default=None,
                         help="fail if the chaos wall-clock overhead "
                              "exceeds this factor")
+    parser.add_argument("--shm", action="store_true",
+                        help="measure the zero-copy shared-memory "
+                             "transport against pickled batches on a "
+                             "prepared process-backend query and emit "
+                             "BENCH_shm.json")
+    parser.add_argument("--min-shm-speedup", type=float, default=None,
+                        help="fail unless the shared-memory transport "
+                             "speedup reaches this factor")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="size multiplier for the adaptive mix")
     parser.add_argument("--rows", type=int, default=None,
@@ -216,10 +224,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not (args.smoke or args.speedup or args.adaptive
             or args.vectorized or args.columnar or args.serving
-            or args.global_merge or args.chaos):
+            or args.global_merge or args.chaos or args.shm):
         parser.error("nothing to do: pass --smoke, --speedup, "
                      "--adaptive, --vectorized, --columnar, --serving, "
-                     "--global-merge and/or --chaos")
+                     "--global-merge, --chaos and/or --shm")
 
     status = 0
     if args.smoke:
@@ -326,5 +334,28 @@ def main(argv: Sequence[str] | None = None) -> int:
                 report["overhead"] > args.max_chaos_overhead:
             print(f"FAIL: chaos overhead above allowed "
                   f"{args.max_chaos_overhead:.2f}x", file=sys.stderr)
+            status = 1
+    if args.shm:
+        from .shm import measure_shm_speedup, render_shm_report
+        report = measure_shm_speedup(
+            num_rows=args.rows or 60_000,
+            num_workers=args.workers or 2)
+        with open("BENCH_shm.json", "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(render_shm_report(report))
+        if not report["bit_identical"]:
+            print("FAIL: shared-memory transport produced different "
+                  "answers than the pickled transport", file=sys.stderr)
+            status = 1
+        if report["leaked_segments"]:
+            print(f"FAIL: {len(report['leaked_segments'])} /dev/shm "
+                  f"segments leaked after session close",
+                  file=sys.stderr)
+            status = 1
+        if args.min_shm_speedup is not None and \
+                report["speedup"] < args.min_shm_speedup:
+            print(f"FAIL: shared-memory transport speedup below "
+                  f"required {args.min_shm_speedup:.2f}x",
+                  file=sys.stderr)
             status = 1
     return status

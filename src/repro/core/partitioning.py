@@ -182,3 +182,29 @@ def partition_rows(rows: Sequence[Sequence],
             cells = prune_dominated_cells(cells, vectorized=vectorized)
         return list(cells.values())
     raise ValueError(f"unknown partitioning scheme {scheme!r}")
+
+
+def partition_indices(rows: Sequence[Sequence],
+                      dims: Sequence[BoundDimension],
+                      scheme: str, num_partitions: int,
+                      prune_cells: bool = False,
+                      cells_per_dimension: int | None = None,
+                      vectorized: bool | None = None
+                      ) -> list[list[int]]:
+    """Like :func:`partition_rows`, but returns row *indices*.
+
+    The batch data plane repartitions by slicing a concatenated
+    :class:`~repro.engine.batch.ColumnBatch` with ``take`` rather than
+    materialising row tuples per partition.  Placement is guaranteed
+    identical to :func:`partition_rows`: each row is decorated with its
+    ordinal as a trailing element (no dimension index can refer to it)
+    and routed through the very same scheme implementations, then the
+    ordinals are read back.  Pruned grid cells simply drop out of the
+    index lists, exactly as their rows would.
+    """
+    decorated = [tuple(row) + (i,) for i, row in enumerate(rows)]
+    parts = partition_rows(decorated, dims, scheme, num_partitions,
+                           prune_cells=prune_cells,
+                           cells_per_dimension=cells_per_dimension,
+                           vectorized=vectorized)
+    return [[row[-1] for row in part] for part in parts]

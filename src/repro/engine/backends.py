@@ -81,8 +81,18 @@ BACKEND_NAMES = ("local", "thread", "process")
 
 
 def default_num_workers() -> int:
-    """Worker count used when the caller does not specify one."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count used when the caller does not specify one.
+
+    ``os.cpu_count()`` reports the machine, not the schedulable CPUs:
+    under a cgroup quota or CPU-affinity mask (containers, CI runners)
+    it overcommits the pool, and the resulting context-switch storm is
+    strictly slower.  Prefer the affinity mask where the platform has
+    one (Linux); ``cpu_count`` remains the fallback elsewhere.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
 
 
 @dataclass
@@ -336,10 +346,21 @@ def _next_attempt(task: StageTask, attempt: int, policy: RetryPolicy,
         raise TaskError(
             f"task {key} failed after {attempts} attempts: {exc}",
             task_key=key, attempts=attempts) from exc
+    delay = policy.backoff_delay(key, attempt)
+    if policy.deadline is not None and \
+            time.perf_counter() + delay >= policy.deadline:
+        # backoff_delay clamps the sleep *to* the remaining budget, so
+        # without this check a small time_budget_s would be slept away
+        # inside backoff and the timeout only surface afterwards.
+        # There is no point sleeping at all: the retry could not start
+        # before the deadline.  Raise promptly (and do not count a
+        # retry that never ran).
+        raise QueryTimeout(
+            message=f"query deadline reached while backing off retry "
+                    f"of task {key}") from exc
     policy.stats.retries += 1
     if _is_crash(exc):
         policy.stats.crash_recoveries += 1
-    delay = policy.backoff_delay(key, attempt)
     if delay > 0:
         time.sleep(delay)
     return attempt + 1

@@ -295,7 +295,19 @@ class Column:
     @classmethod
     def concat(cls, columns: Sequence["Column"]) -> "Column":
         """Stack columns of the same attribute (re-encoded via values
-        when storage kinds disagree)."""
+        when storage kinds disagree).
+
+        Zero-row columns are excluded from the kind vote: an empty
+        partition columnizes as ``obj`` (``from_rows`` cannot infer a
+        type from no values), and letting it outvote typed siblings
+        would degrade the whole concatenated column to an untyped
+        list.  An all-empty input keeps the first column's storage.
+        """
+        live = [c for c in columns if len(c)]
+        if live:
+            columns = live
+        elif len(columns) > 1:
+            columns = list(columns[:1])
         kinds = {c.kind for c in columns}
         if len(kinds) != 1 or OBJ in kinds:
             merged: list = []
@@ -316,7 +328,7 @@ class Column:
 class ColumnBatch:
     """A partition of rows in columnar form; see the module docstring."""
 
-    __slots__ = ("columns", "_num_rows", "_rows")
+    __slots__ = ("columns", "_num_rows", "_rows", "__weakref__")
 
     def __init__(self, columns: Sequence[Column],
                  num_rows: int | None = None) -> None:
@@ -329,9 +341,25 @@ class ColumnBatch:
         self._rows: list[tuple] | None = None
 
     def __getstate__(self):
+        # With an active SharedColumnStore (process backend, driver
+        # side) batches serialise as a small segment handle instead of
+        # their buffers; see repro.engine.shm.  Imported lazily: shm
+        # imports this module.
+        from . import shm
+        store = shm.active_store()
+        if store is not None:
+            state = store.state_for(self)
+            if state is not None:
+                return state
         return (self.columns, self._num_rows)
 
     def __setstate__(self, state) -> None:
+        if len(state) == 4:
+            from . import shm
+            if state[0] == shm.SHM_STATE_TAG:
+                self.columns, self._num_rows = shm.restore_state(state)
+                self._rows = None
+                return
         self.columns, self._num_rows = state
         self._rows = None
 

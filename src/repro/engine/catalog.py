@@ -58,6 +58,12 @@ class Table:
     foreign_keys: list[ForeignKey] = field(default_factory=list)
     #: Columns with a UNIQUE constraint (each a tuple of column names).
     unique_keys: list[tuple[str, ...]] = field(default_factory=list)
+    #: Bumped by every catalog DML delta against this table.  Caches of
+    #: derived row representations (columnized scan partitions, pinned
+    #: prepared-query inputs) key on it; like the statistics cache,
+    #: mutating ``table.rows`` behind the catalog's back is undetectable
+    #: and leaves such caches stale.
+    data_version: int = 0
 
     def __post_init__(self) -> None:
         width = len(self.schema)
@@ -188,6 +194,7 @@ class Catalog:
                         f"table {table.name!r}")
             inserted.append(row)
         table.rows.extend(inserted)
+        table.data_version += 1
         self.stats.invalidate(name)
         self._notify("insert", name, inserted)
         return len(inserted)
@@ -221,6 +228,7 @@ class Catalog:
                     continue
                 removed.append(target)
         if removed:
+            table.data_version += 1
             self.stats.invalidate(name)
             self._notify("delete", name, removed)
         return len(removed)

@@ -28,6 +28,7 @@ from typing import Iterator, Sequence
 from ..errors import QueryTimeout
 from .backends import Backend, FaultStats, LocalBackend, RetryPolicy, \
     StageTask
+from .shm import activation as shm_activation
 
 
 @dataclass(frozen=True)
@@ -159,9 +160,17 @@ class ExecutionContext:
 
     def __init__(self, config: ClusterConfig | None = None,
                  backend: Backend | None = None,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 shm_store=None) -> None:
         self.config = config or ClusterConfig()
         self.backend = backend or LocalBackend()
+        #: Optional :class:`~repro.engine.shm.SharedColumnStore`
+        #: activated around every stage so task batches ship as
+        #: shared-memory handles (process backend only).
+        self.shm_store = shm_store
+        #: Store counters snapshot taken after execution (``None``
+        #: when the query did not run under a store).
+        self.shm_stats: dict | None = None
         self.stages: list[StageMetrics] = []
         self._stage_index: dict[str, StageMetrics] = {}
         #: Total dominance comparisons, filled in by skyline operators.
@@ -252,7 +261,13 @@ class ExecutionContext:
                          stats=FaultStats())
         start = time.perf_counter()
         try:
-            outcomes = self.backend.run_stage(tasks, policy)
+            with shm_activation(self.shm_store):
+                outcomes = self.backend.run_stage(tasks, policy)
+            if self.shm_store is not None:
+                # Transient segments (auto-registered while pickling
+                # this stage's task args) are only safe to drop now:
+                # retries and speculative attempts re-pickle mid-stage.
+                self.shm_store.end_stage()
         except QueryTimeout as exc:
             self._merge_faults(metrics, policy.stats)
             if not exc.partial_stats:

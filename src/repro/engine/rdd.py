@@ -226,5 +226,31 @@ class BatchRDD:
             raise ValueError("cannot concat an empty BatchRDD")
         return ColumnBatch.concat(self.batches)
 
+    # -- wide transformations (shuffles) ----------------------------------
+
+    def take_partitions(self, index_lists: "Sequence[Sequence[int]]"
+                        ) -> "BatchRDD":
+        """Batch-native shuffle: slice the concatenated collection into
+        one partition per index list (indices are positions in
+        row-iteration order).  An empty shuffle keeps the schema by
+        taking zero rows instead of degrading to an untyped batch."""
+        merged = self.concat()
+        if not index_lists:
+            return BatchRDD([merged.take([])])
+        return BatchRDD([merged.take(list(ix)) for ix in index_lists])
+
+    def hash_partition(self, key_fn: Callable[[tuple], Any],
+                       num_partitions: int) -> "BatchRDD":
+        """Hash shuffle by key, placing rows exactly like
+        :meth:`RDD.hash_partition` (same crc32 ``stable_hash``) while
+        moving only column slices, never materialised partitions."""
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        merged = self.concat()
+        index_lists: list[list[int]] = [[] for _ in range(num_partitions)]
+        for i, row in enumerate(merged.iter_rows()):
+            index_lists[stable_hash(key_fn(row)) % num_partitions].append(i)
+        return BatchRDD([merged.take(ix) for ix in index_lists])
+
     def __repr__(self) -> str:
         return f"BatchRDD(partitions={self.partition_sizes()})"

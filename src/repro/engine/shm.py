@@ -1,0 +1,446 @@
+"""Zero-copy shared-memory transport for :class:`ColumnBatch`.
+
+The process backend historically shipped every batch by value: the
+driver pickles the typed arrays, the bytes cross a pipe, the worker
+unpickles a private copy.  For the skyline local stage -- whose task
+arguments *are* the partition batches -- that copy dominates end-to-end
+time once the kernels are vectorized (ROADMAP item 3; Ray's plasma
+object store solves the same problem the same way).
+
+:class:`SharedColumnStore` places the buffers of a batch (f8/i8/b1
+arrays plus their null masks) into ``multiprocessing.shared_memory``
+segments owned by the **driver**.  While a store is *active* (see
+:func:`activation`), ``ColumnBatch.__getstate__`` serialises as a small
+handle -- ``(tag, segment_name, num_rows, column_specs)`` -- instead of
+the buffers, and workers rebuild the columns as read-only views over
+the mapped segment: the data itself never crosses the pipe again.
+
+Ownership and crash safety
+--------------------------
+Workers never create or unlink segments; every segment is created by
+the driver and destroyed by the driver (``release`` / ``end_stage`` /
+``close``).  A worker crash therefore cannot leak ``/dev/shm`` entries:
+the pool-rebuild recovery of PR 7 re-pickles the surviving task
+arguments against the *same* registry entries, and the driver's
+``resource_tracker`` still reclaims everything if the driver itself
+dies without cleanup.  On the attach side workers suppress the
+resource-tracker registration entirely -- fork-started workers share
+the driver's tracker, so a worker-side registration (or an explicit
+unregister) would either unlink segments the driver still owns or
+cancel the driver's own crash-time safety net.
+
+Lifecycle
+---------
+Entries are *transient* by default: auto-registered when a batch is
+first pickled under an active store, and released by
+:meth:`end_stage` once the stage that shipped them has completed
+(retries and speculative re-execution re-pickle task args mid-stage,
+so release must wait for the stage barrier).  Entries registered via
+:meth:`pin` are *persistent*: they survive stage and query boundaries
+-- this is what lets prepared queries ship their cached input
+partitions as handles on every execution -- and are dropped by
+:meth:`unpin` or :meth:`close`.
+
+Everything degrades gracefully: no NumPy, object columns, zero-row or
+tiny batches, exhausted budgets and closed stores all fall back to
+ordinary pickling (counted in :meth:`stats`), which remains
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+
+from .batch import _DTYPES, HAVE_NUMPY, OBJ, Column, ColumnBatch, np
+
+try:  # pragma: no cover - absent on some exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+    resource_tracker = None
+
+#: First element of a shared-memory handle state tuple; distinguishes it
+#: from the legacy ``(columns, num_rows)`` pickle state of ColumnBatch.
+SHM_STATE_TAG = "__repro_shm__"
+
+#: Batches smaller than this pickle faster than they map; ship by value.
+MIN_SHARE_BYTES = 32 * 1024
+
+#: Worker-side cap on concurrently mapped segments (LRU).
+MAX_ATTACHED_SEGMENTS = 64
+
+_AVAILABLE: bool | None = None
+
+
+def shared_memory_available() -> bool:
+    """True when this platform can actually serve shm segments.
+
+    Probed once per process by creating (and immediately unlinking) a
+    tiny segment -- importability alone is not enough: containers
+    without ``/dev/shm`` fail only at ``SharedMemory(create=True)``.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if not HAVE_NUMPY or shared_memory is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = shared_memory.SharedMemory(create=True, size=16)
+                probe.close()
+                probe.unlink()
+                _AVAILABLE = True
+            except Exception:
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+def _reset_probe() -> None:
+    """Test hook: forget the cached platform probe."""
+    global _AVAILABLE
+    _AVAILABLE = None
+
+
+class _Entry:
+    """One exported batch.
+
+    ``strong`` keeps transient batches alive (so ``id(batch)`` cannot
+    be recycled mid-stage); pinned entries drop the strong reference
+    and keep only ``ref`` -- the segment then lives exactly as long as
+    the physical plan holding the batch, and the store's sweep reclaims
+    it once the plan is garbage collected.  Without this, every ad-hoc
+    (non-prepared) query of a session would pin partitions forever.
+    """
+
+    __slots__ = ("ref", "strong", "segment", "state", "nbytes",
+                 "persistent")
+
+    def __init__(self, batch, segment, state, nbytes, persistent):
+        self.ref = weakref.ref(batch)
+        self.strong = None if persistent else batch
+        self.segment = segment
+        self.state = state
+        self.nbytes = nbytes
+        self.persistent = persistent
+
+    def batch(self):
+        return self.ref()
+
+
+def _destroy_segment(segment) -> None:
+    """Close + unlink, tolerating exported buffers and double unlinks."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a live local view exists
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+class SharedColumnStore:
+    """Driver-side registry of batches exported as shm segments."""
+
+    def __init__(self, max_bytes: "int | None" = None,
+                 min_batch_bytes: int = MIN_SHARE_BYTES) -> None:
+        self.owner_pid = os.getpid()
+        self.max_bytes = max_bytes
+        self.min_batch_bytes = min_batch_bytes
+        self._lock = threading.Lock()
+        self._entries: dict[int, _Entry] = {}
+        self._counter = 0
+        self._closed = False
+        self._bytes = 0
+        # Counters (read via stats()).
+        self.segments_created = 0
+        self.segments_released = 0
+        self.bytes_shared = 0
+        self.handles_served = 0
+        self.pickle_fallbacks = 0
+
+    # -- registration -----------------------------------------------------
+
+    def state_for(self, batch: ColumnBatch) -> "tuple | None":
+        """The handle state to pickle for ``batch``, or ``None``.
+
+        Registers the batch on first sight; ``None`` means "pickle by
+        value" (store closed, batch too small / object-typed / zero-row,
+        or the byte budget is exhausted).
+        """
+        with self._lock:
+            self._sweep_locked()
+            entry = self._lookup_locked(batch)
+            if entry is not None:
+                self.handles_served += 1
+                return entry.state
+            state = self._register_locked(batch, persistent=False)
+            if state is None:
+                self.pickle_fallbacks += 1
+            else:
+                self.handles_served += 1
+            return state
+
+    def pin(self, batches) -> int:
+        """Register ``batches`` persistently (surviving stage/query
+        boundaries, reclaimed when the batch itself is garbage
+        collected); returns how many were actually shared."""
+        pinned = 0
+        with self._lock:
+            self._sweep_locked()
+            for batch in batches:
+                if not isinstance(batch, ColumnBatch):
+                    continue
+                entry = self._lookup_locked(batch)
+                if entry is not None:
+                    entry.persistent = True
+                    entry.strong = None
+                    pinned += 1
+                elif self._register_locked(batch, persistent=True):
+                    pinned += 1
+        return pinned
+
+    def _lookup_locked(self, batch) -> "_Entry | None":
+        """The live entry for exactly this batch object, if any.
+
+        ``id()`` keys can be recycled once a pinned batch dies, so a
+        hit must re-verify object identity; a stale entry is released
+        on the spot.
+        """
+        entry = self._entries.get(id(batch))
+        if entry is None:
+            return None
+        if entry.batch() is batch:
+            return entry
+        self._release_locked(id(batch))
+        return None
+
+    def _sweep_locked(self) -> None:
+        """Release pinned entries whose batch was garbage collected."""
+        dead = [key for key, entry in self._entries.items()
+                if entry.persistent and entry.batch() is None]
+        for key in dead:
+            self._release_locked(key)
+
+    def unpin(self, batches) -> None:
+        """Release previously pinned batches (e.g. after DML made a
+        prepared query's cached input partitions stale)."""
+        with self._lock:
+            for batch in batches:
+                entry = self._entries.get(id(batch))
+                if entry is not None and entry.batch() is batch:
+                    self._release_locked(id(batch))
+
+    def _register_locked(self, batch, persistent) -> "tuple | None":
+        if self._closed or np is None or shared_memory is None:
+            return None
+        if not isinstance(batch, ColumnBatch) or batch.num_rows == 0:
+            return None
+        arrays = []   # (ndarray, offset)
+        specs = []
+        total = 0
+        for column in batch.columns:
+            if column.kind == OBJ:
+                specs.append((OBJ, column.data))
+                continue
+            data = np.ascontiguousarray(column.data)
+            offset = (total + 15) & ~15
+            total = offset + data.nbytes
+            arrays.append((data, offset))
+            mask_offset = None
+            if column.mask is not None:
+                mask = np.ascontiguousarray(column.mask)
+                mask_offset = (total + 15) & ~15
+                total = mask_offset + mask.nbytes
+                arrays.append((mask, mask_offset))
+            specs.append((column.kind, offset, mask_offset, len(column)))
+        if total < self.min_batch_bytes:
+            return None
+        if self.max_bytes is not None and \
+                self._bytes + total > self.max_bytes:
+            return None
+        self._counter += 1
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=total)
+        except OSError:  # pragma: no cover - /dev/shm full mid-run
+            return None
+        for array, offset in arrays:
+            dest = np.frombuffer(segment.buf, dtype=array.dtype,
+                                 count=array.size, offset=offset)
+            dest[:] = array.reshape(-1)
+            del dest
+        state = (SHM_STATE_TAG, segment.name, batch.num_rows,
+                 tuple(specs))
+        self._entries[id(batch)] = _Entry(
+            batch, segment, state, total, persistent)
+        self._bytes += total
+        self.segments_created += 1
+        self.bytes_shared += total
+        return state
+
+    # -- release ----------------------------------------------------------
+
+    def _release_locked(self, key: int) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self._bytes -= entry.nbytes
+        self.segments_released += 1
+        _destroy_segment(entry.segment)
+
+    def end_stage(self) -> None:
+        """Release every transient entry (called after a stage -- with
+        all its retries and speculative attempts -- has completed)."""
+        with self._lock:
+            self._sweep_locked()
+            for key in [k for k, e in self._entries.items()
+                        if not e.persistent]:
+                self._release_locked(key)
+
+    def close(self) -> None:
+        """Destroy every segment; the store refuses new registrations."""
+        with self._lock:
+            self._closed = True
+            for key in list(self._entries):
+                self._release_locked(key)
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def segment_names(self) -> list[str]:
+        with self._lock:
+            return [e.segment.name for e in self._entries.values()]
+
+    def stats(self) -> dict:
+        return {
+            "active_segments": len(self._entries),
+            "active_bytes": self._bytes,
+            "segments_created": self.segments_created,
+            "segments_released": self.segments_released,
+            "bytes_shared": self.bytes_shared,
+            "handles_served": self.handles_served,
+            "pickle_fallbacks": self.pickle_fallbacks,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Activation: which store (if any) intercepts ColumnBatch pickling
+# ---------------------------------------------------------------------------
+
+#: A module global on purpose (not thread-local): ProcessPoolExecutor
+#: pickles task arguments in its internal feeder thread, which must see
+#: the store the submitting thread activated.  Fork-started workers
+#: inherit the global too; :func:`active_store` neutralises it there
+#: via the owner-pid check so worker-side pickling stays by-value.
+_ACTIVE: "SharedColumnStore | None" = None
+
+
+def active_store() -> "SharedColumnStore | None":
+    store = _ACTIVE
+    if store is None or store.closed or store.owner_pid != os.getpid():
+        return None
+    return store
+
+
+@contextmanager
+def activation(store: "SharedColumnStore | None"):
+    """Make ``store`` intercept batch pickling for the enclosed stage."""
+    global _ACTIVE
+    if store is None:
+        yield
+        return
+    previous = _ACTIVE
+    _ACTIVE = store
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+# ---------------------------------------------------------------------------
+# Worker side: attach + rebuild
+# ---------------------------------------------------------------------------
+
+_ATTACHED: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _attach(name: str):
+    """Map a segment by name, LRU-cached so partitions shipped across
+    several stages of one query are mapped once per worker."""
+    segment = _ATTACHED.get(name)
+    if segment is not None:
+        _ATTACHED.move_to_end(name)
+        return segment
+    # Attaching registers the segment with the resource tracker
+    # (pre-3.13 behaviour, no track=False yet), and fork-started
+    # workers share the driver's tracker -- so either the worker's
+    # exit would unlink segments the driver still owns, or an explicit
+    # unregister here would cancel the *driver's* registration (its
+    # crash-time safety net).  Suppress the registration instead.
+    if resource_tracker is not None:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    else:  # pragma: no cover - tracker-less platform
+        segment = shared_memory.SharedMemory(name=name)
+    _ATTACHED[name] = segment
+    while len(_ATTACHED) > MAX_ATTACHED_SEGMENTS:
+        _, stale = _ATTACHED.popitem(last=False)
+        try:
+            stale.close()
+        except BufferError:  # pragma: no cover - views still alive
+            pass  # dropped from the cache; GC unmaps when views die
+    return segment
+
+
+def restore_state(state: tuple) -> tuple:
+    """Rebuild ``(columns, num_rows)`` from a handle state tuple.
+
+    Array columns become **read-only** views over the mapped segment
+    (kernels never mutate their inputs; read-only flags turn any future
+    violation into a hard error instead of silent cross-process
+    corruption).  Object columns travelled inline.
+    """
+    _tag, name, num_rows, specs = state
+    segment = _attach(name)
+    columns = []
+    for spec in specs:
+        if spec[0] == OBJ:
+            columns.append(Column(OBJ, spec[1]))
+            continue
+        kind, offset, mask_offset, length = spec
+        data = np.frombuffer(segment.buf, dtype=_DTYPES[kind],
+                             count=length, offset=offset)
+        data.flags.writeable = False
+        mask = None
+        if mask_offset is not None:
+            mask = np.frombuffer(segment.buf, dtype=bool, count=length,
+                                 offset=mask_offset)
+            mask.flags.writeable = False
+        columns.append(Column(kind, data, mask))
+    return list(columns), num_rows
+
+
+def leaked_segments(prefix: str = "psm_") -> list[str]:
+    """Names under ``/dev/shm`` matching ``prefix`` (test/chaos helper;
+    empty where /dev/shm does not exist)."""
+    try:
+        return sorted(n for n in os.listdir("/dev/shm")
+                      if n.startswith(prefix))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return []

@@ -24,7 +24,7 @@ from ..core.merge import (batch_merge_unsafe_reason, build_summaries,
                           merge_partials_task, merge_round_sizes,
                           merge_unsafe_reason, reduce_group, tree_shape,
                           vec_merge_batches_task, vec_merge_partials_task)
-from ..core.partitioning import partition_rows
+from ..core.partitioning import partition_indices, partition_rows
 from ..core.sfs import monotone_score
 from ..core.vectorized import (KernelSet, _monotone_scores, columnize,
                                columnize_batch, select_kernels)
@@ -104,6 +104,13 @@ class PhysicalPlan:
 
     children: tuple["PhysicalPlan", ...] = ()
 
+    #: How this operator's partitions travel to process-backend
+    #: workers: ``"shm"`` (shared-memory handles), ``"pickle"`` (by
+    #: value), or ``None`` (not applicable / not a process backend).
+    #: Stamped onto batch-mode operators by the session before
+    #: EXPLAIN/execution; purely informational.
+    transport: "str | None" = None
+
     def __init__(self) -> None:
         self.node_id = next(_node_ids)
 
@@ -125,7 +132,10 @@ class PhysicalPlan:
         return "row"
 
     def _mode_tag(self) -> str:
-        return f" [{self.exec_mode}]"
+        tag = f" [{self.exec_mode}]"
+        if self.transport is not None and self.exec_mode == "batch":
+            tag += f" [{self.transport}]"
+        return tag
 
     def stage_name(self, suffix: str = "") -> str:
         base = f"{type(self).__name__}-{self.node_id}"
@@ -167,12 +177,18 @@ class ScanExec(PhysicalPlan):
     def __init__(self, rows: list[tuple],
                  output: list[E.AttributeReference],
                  description: str = "scan",
-                 columnar: bool = False) -> None:
+                 columnar: bool = False,
+                 table=None) -> None:
         super().__init__()
         self.rows = rows
         self._output = output
         self.description = description
         self.columnar = columnar
+        #: The catalog :class:`~repro.engine.catalog.Table` behind
+        #: ``rows`` (``None`` for literal relations).  Its
+        #: ``data_version`` keys the columnize cache below.
+        self.table = table
+        self._batch_cache: "tuple | None" = None
 
     @property
     def output(self) -> list[E.AttributeReference]:
@@ -182,17 +198,36 @@ class ScanExec(PhysicalPlan):
     def exec_mode(self) -> str:
         return "batch" if self.columnar else "row"
 
+    def _cache_key(self, num_partitions: int) -> tuple:
+        version = self.table.data_version if self.table is not None \
+            else None
+        return (id(self.rows), len(self.rows), version, num_partitions)
+
     def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
         num_partitions = ctx.config.default_parallelism
         rdd = RDD.from_rows(self.rows, num_partitions)
         if self.columnar:
+            # "Columnize once": re-executions of a prepared plan reuse
+            # the typed batches as long as the table version (bumped by
+            # every catalog DML delta) and partitioning are unchanged.
+            # Same caveat as the statistics cache: mutating the row
+            # list behind the catalog's back is undetectable.
             width = len(self._output)
+            key = self._cache_key(num_partitions)
+            cached = self._batch_cache
+            if cached is not None and cached[0] == key:
+                tasks = [StageTask(partition=i, rows_in=batch.num_rows,
+                                   fn=lambda batch=batch: batch)
+                         for i, batch in enumerate(cached[1])]
+                return BatchRDD(ctx.run_stage(self.stage_name(), tasks))
             tasks = [StageTask(
                 partition=i, rows_in=len(partition),
                 fn=lambda rows=partition: ColumnBatch.from_rows(
                     rows, width))
                 for i, partition in enumerate(rdd.partitions)]
-            return BatchRDD(ctx.run_stage(self.stage_name(), tasks))
+            batches = ctx.run_stage(self.stage_name(), tasks)
+            self._batch_cache = (key, batches)
+            return BatchRDD(batches)
         tasks = [StageTask(partition=i, rows_in=len(partition),
                            fn=lambda rows=partition: rows)
                  for i, partition in enumerate(rdd.partitions)]
@@ -820,6 +855,9 @@ class _SkylineExec(PhysicalPlan):
         #: global phase (``None`` on local operators and legacy
         #: constructions: the flat single-task merge).
         self.merge_plan = merge
+        #: Resident input partitions: ``(token, BatchRDD)`` reused by
+        #: re-executions under the shared-memory data plane.
+        self._pinned: "tuple | None" = None
 
     @property
     def output(self) -> list[E.AttributeReference]:
@@ -844,6 +882,61 @@ class _SkylineExec(PhysicalPlan):
                 self._batch_kernel() is not None:
             return child_out
         return None
+
+    # -- resident input partitions (shared-memory data plane) -------------
+
+    def _input_token(self, ctx: ExecutionContext) -> "tuple | None":
+        """Validity token of this operator's input partitions.
+
+        The chain below a local skyline operator is deterministic data
+        preparation (scan, filter, project, repartition), so its output
+        only changes when the scanned data or the partitioning does.
+        The token captures exactly that: the leaf scan's identity and
+        catalog ``data_version`` plus the parallelism.  ``None`` means
+        the chain has an unexpected shape -- never pin then.
+        """
+        node: PhysicalPlan = self.children[0]
+        while True:
+            if isinstance(node, ScanExec):
+                version = node.table.data_version \
+                    if node.table is not None else None
+                return (id(node.rows), len(node.rows), version,
+                        ctx.config.default_parallelism)
+            if isinstance(node, (FilterExec, ProjectExec,
+                                 SkylineRepartitionExec)):
+                node = node.children[0]
+                continue
+            return None
+
+    def _resident_child(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        """The child output, kept resident across plan re-executions.
+
+        Only under an active :class:`~repro.engine.shm.SharedColumnStore`
+        (process backend with ``shared_memory`` on): the input batches
+        are pinned in the store, so repeat executions of a prepared
+        query ship the *same* segments as handles instead of
+        re-columnizing, re-filtering and re-copying -- this is what
+        "partitions stay resident across stages" buys end to end.
+        Catalog DML bumps the leaf table's ``data_version``, which
+        invalidates the pin (and releases the stale segments).
+        """
+        store = getattr(ctx, "shm_store", None)
+        if store is None or store.closed:
+            return self.children[0].execute(ctx)
+        token = self._input_token(ctx)
+        if token is not None and self._pinned is not None \
+                and self._pinned[0] == token:
+            rdd = self._pinned[1]
+            store.pin(rdd.batches)  # idempotent; re-pins after close
+            return rdd
+        child_out = self.children[0].execute(ctx)
+        if token is not None and isinstance(child_out, BatchRDD) \
+                and self._batch_kernel() is not None:
+            if self._pinned is not None:
+                store.unpin(self._pinned[1].batches)
+            store.pin(child_out.batches)
+            self._pinned = (token, child_out)
+        return child_out
 
     def _global_batch_execute(self, ctx: ExecutionContext,
                               batches: "BatchRDD") -> "BatchRDD":
@@ -1124,24 +1217,57 @@ class SkylineRepartitionExec(PhysicalPlan):
     def output(self) -> list[E.AttributeReference]:
         return self.children[0].output
 
-    def execute(self, ctx: ExecutionContext) -> RDD:
-        # The grid/angle/random shuffles are row-oriented: a batch child
-        # is materialised here and the plan continues on rows (the
-        # skyline stage's kernels re-columnize per partition as needed).
-        child_rdd = _rows_rdd(self.children[0].execute(ctx))
-        stage = self.stage_name()
-        rows = child_rdd.collect()
-        ctx.record_shuffle(stage, len(rows))
-        dims = self.dims
-        value_dims = [d for d in dims
-                      if d.kind is not DimensionKind.DIFF]
-        scheme = self.scheme
+    @property
+    def exec_mode(self) -> str:
+        return self.children[0].exec_mode
+
+    @staticmethod
+    def _downgrade_scheme(rows, scheme: str, value_dims) -> str:
+        """Grid/angle need finite comparable coordinates; otherwise
+        fall back to random (same rule on both data planes)."""
         if scheme in ("grid", "angle") and any(
                 row[d.index] is None or
                 (isinstance(row[d.index], float) and
                  not math.isfinite(row[d.index]))
                 for row in rows for d in value_dims):
-            scheme = "random"
+            return "random"
+        return scheme
+
+    def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        child_out = self.children[0].execute(ctx)
+        stage = self.stage_name()
+        dims = self.dims
+        value_dims = [d for d in dims
+                      if d.kind is not DimensionKind.DIFF]
+        if isinstance(child_out, BatchRDD):
+            # Batch-native shuffle: the scheme assigns row ordinals
+            # (placement identical to the row plane by construction,
+            # see partition_indices) and the batch columns are sliced
+            # directly -- no row materialisation round-trip, and typed
+            # columns/null masks survive the shuffle.
+            merged = child_out.concat()
+            rows = merged.to_rows()
+            ctx.record_shuffle(stage, len(rows))
+            scheme = self._downgrade_scheme(rows, self.scheme,
+                                            value_dims)
+
+            def task(scheme=scheme):
+                return partition_indices(
+                    rows, dims, scheme, self.num_partitions,
+                    prune_cells=scheme == "grid",
+                    cells_per_dimension=self.cells_per_dimension,
+                    vectorized=self.vectorized)
+
+            index_lists = ctx.run_task(stage, 0, task, len(rows),
+                                       parallelizable=False,
+                                       kernel=select_kernels(
+                                           self.vectorized).name)
+            return BatchRDD([merged.take(ix) for ix in index_lists]
+                            if index_lists else [merged.take([])])
+        child_rdd = _rows_rdd(child_out)
+        rows = child_rdd.collect()
+        ctx.record_shuffle(stage, len(rows))
+        scheme = self._downgrade_scheme(rows, self.scheme, value_dims)
 
         def task(scheme=scheme):
             return partition_rows(
@@ -1172,7 +1298,7 @@ class SkylineLocalExec(_SkylineExec):
     batch_kernel_attr = "local_bnl_batch"
 
     def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
-        child_out = self.children[0].execute(ctx)
+        child_out = self._resident_child(ctx)
         batches = self._batch_input(child_out)
         if batches is not None:
             tasks = self._batch_tasks(ctx, batches.batches)
@@ -1253,7 +1379,7 @@ class SkylineLocalIncompleteExec(_SkylineExec):
         return [merged.take(indices) for indices in groups.values()]
 
     def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
-        child_out = self.children[0].execute(ctx)
+        child_out = self._resident_child(ctx)
         stage = self.stage_name()
         dims = self.dims
         batches = self._batch_input(child_out)
@@ -1328,7 +1454,7 @@ class SkylineLocalSFSExec(_SkylineExec):
     batch_kernel_attr = "local_sfs_batch"
 
     def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
-        child_out = self.children[0].execute(ctx)
+        child_out = self._resident_child(ctx)
         batches = self._batch_input(child_out)
         if batches is not None:
             tasks = self._batch_tasks(ctx, batches.batches)

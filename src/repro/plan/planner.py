@@ -128,7 +128,8 @@ class Planner:
     def plan(self, node: L.LogicalPlan) -> P.PhysicalPlan:
         if isinstance(node, L.LogicalRelation):
             return P.ScanExec(node.table.rows, node.output,
-                              node.table.name, columnar=self.columnar)
+                              node.table.name, columnar=self.columnar,
+                              table=node.table)
         if isinstance(node, L.LocalRelation):
             return P.ScanExec(node.rows, node.output, "local",
                               columnar=self.columnar)

@@ -80,6 +80,37 @@ class TestSessionConfig:
         import json
         json.dumps(SessionConfig().as_dict())
 
+    def test_shared_memory_default_is_auto(self):
+        assert SessionConfig().shared_memory == "auto"
+
+    @pytest.mark.parametrize("value", (True, False, "auto"))
+    def test_shared_memory_accepts_valid_values(self, value):
+        assert SessionConfig(shared_memory=value).shared_memory == value
+
+    @pytest.mark.parametrize("value", ("yes", 1, 0, None, "AUTO"))
+    def test_shared_memory_rejects_other_values(self, value):
+        with pytest.raises(ValueError):
+            SessionConfig(shared_memory=value)
+
+    def test_shared_memory_false_never_enabled(self):
+        assert SessionConfig(shared_memory=False).shared_memory_enabled \
+            is False
+
+    def test_shared_memory_enabled_tracks_platform(self):
+        from repro.engine.shm import shared_memory_available
+        config = SessionConfig(shared_memory="auto")
+        assert config.shared_memory_enabled == shared_memory_available()
+        forced = SessionConfig(shared_memory=True)
+        assert forced.shared_memory_enabled == shared_memory_available()
+
+    def test_fingerprint_sees_shared_memory(self):
+        from repro.engine.shm import shared_memory_available
+        on = SessionConfig(shared_memory="auto").fingerprint()
+        off = SessionConfig(shared_memory=False).fingerprint()
+        # Distinct exactly when the platform can serve segments;
+        # identical otherwise (both resolve to the pickled transport).
+        assert (on != off) == shared_memory_available()
+
 
 class TestConnect:
     def test_connect_returns_session(self):

@@ -248,7 +248,7 @@ class TestColumnarConfiguration:
         assert "[row]" in row_text
         assert "[batch]" not in row_text
 
-    def test_repartitioned_skyline_drops_to_rows(self):
+    def test_repartitioned_skyline_stays_batch(self):
         from repro.core.vectorized import numpy_available
         if not numpy_available():
             pytest.skip("NumPy not available")
@@ -260,10 +260,10 @@ class TestColumnarConfiguration:
             [(i, 10 - i) for i in range(10)])
         text = session.explain(parse_query(
             "SELECT * FROM pts SKYLINE OF a MIN, b MIN"))
-        # The grid shuffle is row-oriented, so everything above it
-        # reports row mode while the scan below stays batch.
-        assert "SkylineRepartition(grid, 4 partitions) [row]" in text
-        assert "[batch]" in text  # the scan
+        # The grid shuffle routes batch indices natively, so the whole
+        # plan stays batch-mode instead of dropping to rows above it.
+        assert "SkylineRepartition(grid, 4 partitions) [batch]" in text
+        assert "[row]" not in text
         result = session.sql(
             "SELECT * FROM pts SKYLINE OF a MIN, b MIN").to_tuples()
         assert len(result) == 10

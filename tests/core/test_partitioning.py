@@ -174,3 +174,30 @@ class TestPartitionRowsFrontDoor:
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ValueError, match="scheme"):
             partition_rows([], MIN2, "hexagonal", 2)
+
+
+class TestPartitionIndices:
+    """The index-returning twin used by the batch-native shuffle: row
+    placement must be provably identical to partition_rows."""
+
+    @pytest.mark.parametrize("scheme", ["random", "grid", "angle"])
+    @given(rows=rows_2d)
+    @settings(max_examples=25, deadline=None)
+    def test_placement_matches_partition_rows(self, scheme, rows):
+        from repro.core.partitioning import partition_indices
+        expected = partition_rows(rows, MIN2, scheme, 4)
+        index_lists = partition_indices(rows, MIN2, scheme, 4)
+        rebuilt = [[tuple(rows[i]) for i in part] for part in index_lists]
+        assert rebuilt == [[tuple(r) for r in part] for part in expected]
+
+    def test_indices_form_a_permutation(self):
+        from repro.core.partitioning import partition_indices
+        rows = [(float(i % 5), float(i % 3)) for i in range(30)]
+        index_lists = partition_indices(rows, MIN2, "grid", 4)
+        flat = sorted(i for part in index_lists for i in part)
+        assert flat == list(range(len(rows)))
+
+    def test_empty_input(self):
+        from repro.core.partitioning import partition_indices
+        assert all(part == [] for part in
+                   partition_indices([], MIN2, "random", 3))

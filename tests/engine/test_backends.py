@@ -129,6 +129,27 @@ class TestFactory:
     def test_default_worker_count_positive(self):
         assert default_num_workers() >= 1
 
+    def test_default_worker_count_prefers_affinity(self, monkeypatch):
+        """A cgroup/affinity mask narrower than the machine must win:
+        cpu_count() overcommits containers and CI runners."""
+        import os
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1},
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_num_workers() == 2
+
+    def test_default_worker_count_falls_back_to_cpu_count(self,
+                                                          monkeypatch):
+        import os
+
+        def unavailable(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", unavailable,
+                            raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert default_num_workers() == 3
+
     def test_base_backend_abstract(self):
         with pytest.raises(NotImplementedError):
             Backend().run_stage([])

@@ -102,6 +102,57 @@ class TestSlicing:
         assert clone.to_rows() == self.ROWS
 
 
+class TestZeroRowBatches:
+    """Zero-row batches flow through shuffles and merge rounds; their
+    storage kind and null masks must survive every operation."""
+
+    def test_pickle_round_trip_preserves_shape(self):
+        batch = ColumnBatch.from_rows([], 3)
+        clone = pickle.loads(pickle.dumps(batch))
+        assert clone.num_rows == 0
+        assert len(clone.columns) == 3
+        assert clone.to_rows() == []
+
+    def test_take_nothing_from_empty(self):
+        batch = ColumnBatch.from_rows([], 2)
+        assert batch.take([]).to_rows() == []
+        assert batch.compress([]).to_rows() == []
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+    def test_concat_with_empty_keeps_typed_kind(self):
+        typed = ColumnBatch.from_rows([(1.5, 7), (2.5, -3)], 2)
+        empty = typed.take([])
+        assert [c.kind for c in typed.columns] == ["f8", "i8"]
+        for order in ([empty, typed], [typed, empty],
+                      [empty, typed, empty]):
+            merged = ColumnBatch.concat(order)
+            assert merged.to_rows() == typed.to_rows()
+            assert [c.kind for c in merged.columns] == ["f8", "i8"]
+
+    def test_concat_of_only_empties(self):
+        a = ColumnBatch.from_rows([], 2)
+        b = ColumnBatch.from_rows([], 2)
+        merged = ColumnBatch.concat([a, b])
+        assert merged.num_rows == 0
+        assert len(merged.columns) == 2
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+    def test_concat_with_empty_keeps_null_mask(self):
+        batch = ColumnBatch.from_rows([(1.0,), (None,)], 1)
+        empty = batch.take([])
+        merged = ColumnBatch.concat([empty, batch])
+        assert merged.to_rows() == [(1.0,), (None,)]
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not available")
+    def test_columnize_batch_on_zero_rows(self):
+        from repro.core.algorithms import make_dimensions
+        from repro.core.vectorized import columnize_batch
+        batch = ColumnBatch.from_rows([(1.0, 2.0)], 2).take([])
+        block = columnize_batch(batch,
+                                make_dimensions([(0, "min"), (1, "min")]))
+        assert block is None or block.values.shape[0] == 0
+
+
 class TestEncodeNumericColumn:
     """The shared columnization point keeps the pinned semantics."""
 

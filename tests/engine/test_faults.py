@@ -130,6 +130,24 @@ class TestRetryPolicy:
                              deadline=time.perf_counter() + 0.01)
         assert policy.backoff_delay("k", 5) <= 0.011
 
+    @pytest.mark.parametrize("backend_factory",
+                             [LocalBackend, lambda: ThreadBackend(2)])
+    def test_backoff_never_sleeps_past_deadline(self, backend_factory):
+        """A retry whose backoff would cross the query deadline must
+        raise QueryTimeout promptly instead of sleeping the remaining
+        budget away and surfacing the timeout afterwards."""
+        plan = FaultPlan(seed=3, poison="t#0", max_injections=10)
+        policy = RetryPolicy(max_attempts=6, backoff_s=5.0,
+                             deadline=time.perf_counter() + 0.05)
+        start = time.perf_counter()
+        with activate(plan), backend_factory() as backend:
+            with pytest.raises(QueryTimeout):
+                backend.run_stage(_tasks(1, _value_of), policy)
+        # Prompt: well under one un-clamped backoff interval.
+        assert time.perf_counter() - start < 1.0
+        # The retry never ran, so it must not be counted.
+        assert policy.stats.retries == 0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             RetryPolicy(max_attempts=0)

@@ -153,3 +153,39 @@ class TestStableHashPlacement:
         assert stable_hash(2 ** 60) == stable_hash(2.0 ** 60)
         assert stable_hash(("k", 1)) == stable_hash(("k", 1.0))
         assert stable_hash(1.5) != stable_hash(1)
+
+
+class TestBatchRDDShuffles:
+    """Batch-native shuffles must place rows exactly like the row RDD."""
+
+    ROWS = [(float(i % 7), float(i % 4), i) for i in range(40)]
+
+    def _batch_rdd(self):
+        from repro.engine.batch import ColumnBatch
+        from repro.engine.rdd import BatchRDD
+        half = len(self.ROWS) // 2
+        return BatchRDD([ColumnBatch.from_rows(self.ROWS[:half], 3),
+                         ColumnBatch.from_rows(self.ROWS[half:], 3)])
+
+    def test_hash_partition_matches_row_rdd(self):
+        key = lambda row: row[0]
+        expected = RDD.from_rows(self.ROWS, 1).hash_partition(key, 4)
+        shuffled = self._batch_rdd().hash_partition(key, 4)
+        assert [b.to_rows() for b in shuffled.batches] == \
+            expected.partitions
+
+    def test_hash_partition_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            self._batch_rdd().hash_partition(lambda r: r[0], 0)
+
+    def test_take_partitions_slices_iteration_order(self):
+        shuffled = self._batch_rdd().take_partitions([[0, 2], [1], []])
+        parts = [b.to_rows() for b in shuffled.batches]
+        assert parts == [[self.ROWS[0], self.ROWS[2]], [self.ROWS[1]], []]
+
+    def test_take_partitions_empty_keeps_schema(self):
+        shuffled = self._batch_rdd().take_partitions([])
+        assert len(shuffled.batches) == 1
+        only = shuffled.batches[0]
+        assert only.num_rows == 0
+        assert len(only.columns) == 3

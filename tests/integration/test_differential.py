@@ -251,3 +251,110 @@ def test_vectorized_kernels_actually_ran():
                if stage["name"].startswith("Skyline")
                for kernel in stage["kernels"]}
     assert kernels == {"vectorized"}
+
+
+# -- shared-memory transport (PR 9) ----------------------------------------
+
+
+def _shm_session(shared_memory, rows=None, nullable=False):
+    from repro import SessionConfig
+    config = SessionConfig(
+        num_executors=3, skyline_algorithm="distributed-complete",
+        backend="process", num_workers=2, columnar=True,
+        shared_memory=shared_memory)
+    session = SkylineSession(config=config)
+    session.create_table(
+        "t",
+        [("id", INTEGER, False), ("a", DOUBLE, nullable),
+         ("b", DOUBLE, nullable), ("c", DOUBLE, nullable)],
+        COMPLETE_ROWS if rows is None else rows)
+    return session
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not available")
+def test_shared_memory_transport_matches_oracle():
+    """The zero-copy leg must be bit-identical to the pickled leg and
+    to the all-pairs oracle, and must leave /dev/shm clean."""
+    from repro.engine.shm import leaked_segments, shared_memory_available
+    if not shared_memory_available():
+        pytest.skip("shared memory not available")
+    before = set(leaked_segments())
+    session = _shm_session(True)
+    try:
+        text = session.explain(session.sql(SQL3).plan)
+        assert "[shm]" in text
+        result = sorted(session.sql(SQL3).to_tuples(), key=repr)
+        assert result == COMPLETE_ORACLE
+    finally:
+        session.close()
+    assert set(leaked_segments()) <= before
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not available")
+def test_shared_memory_disabled_marks_pickle():
+    session = _shm_session(False)
+    try:
+        text = session.explain(session.sql(SQL3).plan)
+        assert "[pickle]" in text and "[shm]" not in text
+        result = sorted(session.sql(SQL3).to_tuples(), key=repr)
+        assert result == COMPLETE_ORACLE
+    finally:
+        session.close()
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not available")
+def test_shared_memory_no_leaks_after_worker_crash(monkeypatch):
+    """Chaos leg: injected worker crashes during the skyline stage must
+    not leak /dev/shm segments, and recovery stays bit-identical."""
+    from repro.engine.faults import FAULT_PLAN_ENV
+    from repro.engine.shm import leaked_segments, shared_memory_available
+    if not shared_memory_available():
+        pytest.skip("shared memory not available")
+    before = set(leaked_segments())
+    monkeypatch.setenv(FAULT_PLAN_ENV,
+                       "seed=7,poison=SkylineLocal,max_injections=1")
+    session = _shm_session(True)
+    try:
+        result = sorted(session.sql(SQL3).to_tuples(), key=repr)
+        assert result == COMPLETE_ORACLE
+    finally:
+        session.close()
+    assert set(leaked_segments()) <= before
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not available")
+def test_shared_memory_prepared_inputs_stay_resident():
+    """Re-executing a prepared query must re-serve the pinned input
+    segments (no re-registration), and catalog DML must invalidate
+    them so the next execution sees the new data."""
+    from repro.engine.shm import shared_memory_available
+    if not shared_memory_available():
+        pytest.skip("shared memory not available")
+    # Wide rows so partition batches clear the minimum share size.
+    wide = [(i,) + tuple(float((i * 7 + j) % 97) for j in range(60))
+            for i in range(3000)]
+    session = _shm_session(True)
+    session.create_table(
+        "w", [("id", INTEGER, False)] + [(f"c{j}", DOUBLE, False)
+                                         for j in range(60)], wide)
+    try:
+        prepared = session.prepare(session.sql(
+            "SELECT * FROM w SKYLINE OF c0 MIN, c1 MIN").plan)
+        first = session.execute_prepared(prepared)
+        created = first.context.shm_stats["segments_created"]
+        assert created > 0
+        second = session.execute_prepared(prepared)
+        assert second.context.shm_stats["segments_created"] == created
+        assert second.context.shm_stats["handles_served"] > \
+            first.context.shm_stats["handles_served"]
+        assert sorted(map(tuple, second.rows)) == \
+            sorted(map(tuple, first.rows))
+        # DML bumps the table's data_version: the pinned inputs are
+        # stale, so new segments must be registered and the dominating
+        # row must appear in the result.
+        session.catalog.insert_into("w", [(-1,) + (-1.0,) * 60])
+        third = session.execute_prepared(prepared)
+        assert third.context.shm_stats["segments_created"] > created
+        assert any(row[0] == -1 for row in third.rows)
+    finally:
+        session.close()
