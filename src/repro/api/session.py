@@ -83,6 +83,21 @@ class QueryResult:
         counters); ``None`` for non-skyline queries."""
         return getattr(self.context, "global_merge", None)
 
+    @property
+    def time_to_first_batch_s(self) -> "float | None":
+        """Wall-clock seconds from execution start until the first
+        local-skyline partial was produced (pipelined: the first fold
+        completing; staged: the first skyline stage finishing).
+        ``None`` when no skyline stage ran."""
+        return getattr(self.context, "time_to_first_batch_s", None)
+
+    @property
+    def pipeline(self) -> "dict | None":
+        """The pipelined executor's report for this execution (waves,
+        per-operator batch/stall/spill/peak counters); ``None`` when
+        the query ran staged."""
+        return getattr(self.context, "pipeline", None)
+
 
 @dataclass
 class PreparedQuery:
@@ -468,7 +483,10 @@ class SkylineSession:
             vectorized=self.vectorized_enabled,
             columnar=self.columnar_enabled,
             global_merge=self.config.global_merge,
-            merge_fan_in=self.config.merge_fan_in)
+            merge_fan_in=self.config.merge_fan_in,
+            execution=self.config.execution,
+            operator_memory_mb=self.config.operator_memory_mb,
+            backend=spec.name)
 
     _ANALYZE_SCHEMA = Schema([
         Field("table_name", STRING, False),
@@ -560,6 +578,7 @@ class SkylineSession:
                                retry_policy=self.config.retry_policy(),
                                shm_store=store)
         ctx.set_budget(self._time_budget_s)
+        ctx.mark_execution_start()
         try:
             rdd = prepared.physical.execute(ctx)
             rows = [Row(values, prepared.schema)
@@ -618,6 +637,10 @@ class SkylineSession:
         if planner.merge_decisions:
             sections.append("== Global Merge ==")
             sections.extend(d.describe() for d in planner.merge_decisions)
+        if planner.execution_decisions:
+            sections.append("== Execution ==")
+            sections.extend(d.describe()
+                            for d in planner.execution_decisions)
         return "\n".join(sections)
 
 

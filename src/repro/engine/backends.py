@@ -129,6 +129,11 @@ class StageTask:
     args: tuple = ()
     kernel: str = "scalar"
     key: str = ""
+    #: Tracked payload bytes of this task's input (``ColumnBatch.nbytes``
+    #: or a row-list estimate).  ``0`` = untracked; when set, the
+    #: execution context folds it into the *real* per-stage memory
+    #: high-water mark that thread/process backends report.
+    bytes_in: int = 0
 
     def __post_init__(self) -> None:
         if self.fn is None and self.func is None:

@@ -65,6 +65,12 @@ F8, I8, B1, OBJ = "f8", "i8", "b1", "obj"
 #: NumPy dtype per array-backed kind.
 _DTYPES = {F8: "float64", I8: "int64", B1: "bool"}
 
+#: Flat per-value byte estimate for ``obj`` (Python-list) columns:
+#: a pointer (8) plus a small-object payload allowance.  Deliberately
+#: deterministic -- the pipelined executor's memory budgets must not
+#: depend on ``sys.getsizeof`` details that vary across interpreters.
+_OBJ_VALUE_BYTES = 48
+
 
 def encode_numeric_column(values: Sequence) -> "tuple | None":
     """The pinned float64 encoding of one column of SQL values.
@@ -139,6 +145,22 @@ class Column:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Column({self.kind}, n={len(self)})"
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this column's storage.
+
+        Exact for array-backed kinds (buffer plus null mask); a
+        deterministic per-value estimate for ``obj`` lists (pointer plus
+        a flat payload allowance), so budget accounting stays stable
+        across runs and platforms.
+        """
+        if self.kind != OBJ:
+            total = int(self.data.nbytes)
+            if self.mask is not None:
+                total += int(self.mask.nbytes)
+            return total
+        return 8 + len(self.data) * _OBJ_VALUE_BYTES
 
     # -- construction -----------------------------------------------------
 
@@ -378,6 +400,17 @@ class ColumnBatch:
 
     def column(self, index: int) -> Column:
         return self.columns[index]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes across all columns (see :attr:`Column.nbytes`).
+
+        This is the unit the pipelined executor's byte-denominated
+        operator budgets, backpressure and spill accounting work in,
+        and what the execution context's tracked (non-simulated) memory
+        high-water marks sum up.
+        """
+        return sum(column.nbytes for column in self.columns)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kinds = ",".join(c.kind for c in self.columns)

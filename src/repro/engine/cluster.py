@@ -191,6 +191,21 @@ class ExecutionContext:
         #: runtime fallback reason.  Filled in by the global skyline
         #: operators; ``None`` for queries without a skyline.
         self.global_merge: dict | None = None
+        #: Tracked (non-simulated) per-operator memory high-water marks
+        #: in bytes: stage/operator name -> max concurrently-resident
+        #: tracked payload bytes.  Fed by tasks carrying ``bytes_in``
+        #: and by the pipelined executor's queue accounting; empty when
+        #: nothing tracked bytes (e.g. the row plane).
+        self.operator_peaks: dict[str, int] = {}
+        #: Pipelined-execution report (operators, waves, spill and
+        #: stall accounting) -- filled in by
+        #: :mod:`repro.engine.pipeline`; ``None`` for staged queries.
+        self.pipeline: dict | None = None
+        #: Wall-clock seconds from :meth:`mark_execution_start` until
+        #: the first skyline output batch existed.  ``None`` until
+        #: known (or for non-skyline queries).
+        self.time_to_first_batch_s: float | None = None
+        self._exec_start: float | None = None
 
     # -- deadline handling -------------------------------------------------
 
@@ -202,6 +217,37 @@ class ExecutionContext:
 
     def set_retry_policy(self, policy: RetryPolicy) -> None:
         self.retry_policy = policy
+
+    # -- memory + latency tracking ----------------------------------------
+
+    def mark_execution_start(self) -> None:
+        """Start the time-to-first-batch clock (set per execution)."""
+        self._exec_start = time.perf_counter()
+        self.time_to_first_batch_s = None
+
+    def note_first_batch(self) -> None:
+        """Record the first skyline output batch, once.
+
+        Staged stages call this implicitly from :meth:`run_stage` when a
+        ``SkylineLocal``/``SkylineGlobal`` stage completes (the whole
+        stage barrier *is* the first batch there); the pipelined driver
+        calls it the moment the first morsel fold finishes.
+        """
+        if self._exec_start is not None and \
+                self.time_to_first_batch_s is None:
+            self.time_to_first_batch_s = \
+                time.perf_counter() - self._exec_start
+
+    def record_memory(self, name: str, nbytes: int) -> None:
+        """Fold one observation of tracked resident bytes for ``name``.
+
+        Unlike the simulated Appendix-C model this counts *measured*
+        payload bytes (``ColumnBatch.nbytes`` / row estimates), so on
+        the thread and process backends :meth:`peak_memory_mb` can
+        report a true high-water mark.
+        """
+        if nbytes > 0 and nbytes > self.operator_peaks.get(name, 0):
+            self.operator_peaks[name] = int(nbytes)
 
     def check_deadline(self) -> None:
         if self.deadline is not None and time.perf_counter() > self.deadline:
@@ -286,6 +332,14 @@ class ExecutionContext:
                 rows_out=len(rows), peak_held_rows=peak_held,
                 kernel=task.kernel, attempts=outcome.attempts))
             results.append(rows)
+        tracked_bytes = sum(task.bytes_in for task in tasks)
+        if tracked_bytes:
+            # Staged semantics: every partition of the stage is resident
+            # at the barrier, so the stage's high-water mark is the sum
+            # of its tracked task inputs.
+            self.record_memory(stage, tracked_bytes)
+        if stage.startswith(("SkylineLocal", "SkylineGlobal")):
+            self.note_first_batch()
         return results
 
     def _merge_faults(self, metrics: StageMetrics,
@@ -350,7 +404,37 @@ class ExecutionContext:
             total += stage.shuffled_rows * cfg.shuffle_cost_per_row_s
         return total
 
+    def tracked_peak_mb(self) -> "float | None":
+        """Measured per-operator memory high-water mark in MB.
+
+        The maximum over operators/stages of the tracked resident
+        payload bytes (:meth:`record_memory`): batch-plane stages stamp
+        their task input bytes, the pipelined executor accounts its
+        queues, windows and in-flight morsels.  ``None`` when nothing
+        was tracked (row plane, metric-only contexts).
+        """
+        if not self.operator_peaks:
+            return None
+        return max(self.operator_peaks.values()) / 1e6
+
     def peak_memory_mb(self) -> float:
+        """Peak memory: measured where possible, simulated otherwise.
+
+        On the real parallel backends (thread/process) with tracked
+        payload bytes available this reports the true high-water mark
+        (:meth:`tracked_peak_mb`) -- what the pipelined executor's
+        memory gate measures.  Otherwise it falls back to the paper's
+        simulated Appendix-C model below, which remains the quantity
+        the figure benchmarks plot (the local backend always simulates,
+        keeping those curves stable).
+        """
+        if self.backend.name != "local":
+            tracked = self.tracked_peak_mb()
+            if tracked is not None:
+                return tracked
+        return self.simulated_peak_memory_mb()
+
+    def simulated_peak_memory_mb(self) -> float:
         """Simulated peak memory across all nodes (paper's Appendix C).
 
         Per executor: runtime base + the heaviest concurrent residency of
@@ -404,10 +488,13 @@ class ExecutionContext:
             "simulated_time_s": self.simulated_time_s(),
             "real_time_s": self.real_time_s(),
             "peak_memory_mb": self.peak_memory_mb(),
+            "tracked_peak_mb": self.tracked_peak_mb(),
+            "time_to_first_batch_s": self.time_to_first_batch_s,
             "total_task_time_s": self.total_task_time_s(),
             "dominance_comparisons": self.dominance_comparisons,
             "faults": self.fault_stats.as_dict(),
             "global_merge": self.global_merge,
+            "pipeline": self.pipeline,
             "stages": [
                 {
                     "name": s.name,

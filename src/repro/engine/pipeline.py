@@ -1,0 +1,744 @@
+"""Morsel-driven pipelined execution of the local skyline chain.
+
+The staged executor (:meth:`ExecutionContext.run_stage`) runs one
+operator at a time with a barrier between operators: every partition is
+scanned before anything is filtered, everything is filtered before any
+local skyline starts.  This module provides the alternative the
+``execution="pipelined"`` session option selects: the scan is split
+into fixed-size *morsels* (:data:`PIPELINE_MORSEL_ROWS` rows), and a
+driver loop keeps the configured backend pool saturated with a mix of
+scan, filter/project and local-skyline *fold* tasks, so the three
+operators overlap instead of running back to back.
+
+Correctness rests on the fold identity ``skyline(skyline(A) + B) ==
+skyline(A + B)``: the local-skyline operator keeps one running window
+per partition (per null bitmap for incomplete data) and folds each
+arriving morsel into it, using :class:`repro.streaming.SkylineStream`
+-- the incremental-dominance kernel -- on the row plane and the
+``*_batch`` kernels over ``window + morsels`` on the batch plane.
+Morsels reach each fold window in their original row order, so window
+contents (including DISTINCT representative choice, which is
+first-seen) are identical to the staged execution of the same
+partition, and the unchanged staged global phase consumes the drained
+partials bit-for-bit as before.
+
+Memory is bounded per operator: each operator's input queue has a
+byte-denominated budget (``operator_memory_mb``).  The driver does not
+schedule an upstream operator while its downstream queue is over
+budget (*backpressure*, accounted as stall time), and results that
+land on an already-full queue -- the overshoot of one in-flight wave
+-- are spilled to disk and re-loaded on demand (*out-of-core*), so the
+buffered working set never grows with the input.
+
+Every wave executes as a regular ``ctx.run_stage("Pipeline.waveN",
+tasks)``, which means retries, worker-crash recovery, deadlines and
+deterministic fault injection (``REPRO_FAULT_PLAN`` with
+``poison=Pipeline``) apply to pipelined tasks exactly as to staged
+ones.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.dominance import dominates_incomplete, null_bitmap
+from ..streaming import SkylineStream
+from .backends import StageTask
+from .batch import ColumnBatch
+from .rdd import RDD, BatchRDD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import ExecutionContext
+
+#: Rows per morsel: the unit of work the driver schedules.  Small
+#: enough that a handful of morsels keep a pool busy, large enough
+#: that per-task overhead stays negligible.
+PIPELINE_MORSEL_ROWS = 2048
+
+#: Default per-operator memory budget when the session does not set
+#: ``operator_memory_mb``.
+DEFAULT_OPERATOR_MEMORY_MB = 64.0
+
+#: Rough per-value heap cost (bytes) of a row-plane tuple element,
+#: used only to drive backpressure/spill accounting on the row plane.
+_ROW_VALUE_BYTES = 56
+
+
+# ---------------------------------------------------------------------------
+# Task payload functions (module-level: picklable for process backends)
+# ---------------------------------------------------------------------------
+
+
+def _scan_rows_task(rows):
+    """Row-plane scan: the morsel slice itself is the output."""
+    return rows
+
+
+def _columnize_task(rows, width):
+    """Batch-plane scan: columnize one morsel."""
+    return ColumnBatch.from_rows(rows, width)
+
+
+def _map_batch_task(batch, specs):
+    """Apply a fused filter/project chain to one batch."""
+    from ..plan.physical import _filter_batch
+    for kind, payload in specs:
+        if kind == "filter":
+            batch = _filter_batch(batch, payload)
+        else:
+            batch = ColumnBatch([p.eval_batch(batch) for p in payload],
+                                num_rows=batch.num_rows)
+    return batch
+
+
+def _map_rows_task(rows, specs):
+    """Apply a fused filter/project chain to one row-plane morsel."""
+    for kind, payload in specs:
+        if kind == "filter":
+            predicate = payload.eval
+            rows = [row for row in rows if predicate(row) is True]
+        else:
+            evaluators = [p.eval for p in payload]
+            rows = [tuple(ev(row) for ev in evaluators) for row in rows]
+    return rows
+
+
+def _fold_batch_task(window, morsels, dims, distinct, kernel):
+    """Fold batch morsels into a running window (complete data / SFS).
+
+    ``skyline(window + morsels)`` -- the batch kernels are exact, so
+    re-running one over the survivors plus the new rows equals the
+    skyline of everything seen (fold identity).
+    """
+    batches = ([window] if window is not None else []) + list(morsels)
+    merged = ColumnBatch.concat(batches)
+    return kernel(merged, dims, distinct, check_deadline=None)
+
+
+def _fold_batch_incomplete_task(window, morsels, dims, kernel):
+    """Fold batch morsels of ONE null-bitmap group into its window."""
+    batches = ([window] if window is not None else []) + list(morsels)
+    merged = ColumnBatch.concat(batches)
+    return kernel(merged, dims, check_deadline=None)
+
+
+def _fold_stream_task(state, morsels, dims, distinct, incomplete=False):
+    """Row-plane fold through the incremental-dominance kernel.
+
+    Restores the running :class:`~repro.streaming.SkylineStream` window
+    from its checkpoint, folds each morsel in arrival order, and
+    returns the new checkpoint (the driver-side fold state) plus the
+    window peak / comparison counters the engine's metrics track.  For
+    incomplete data the restricted ``dominates_incomplete`` test is
+    transitive within one null-bitmap group, so null rows stream
+    through the window directly -- no buffering.
+    """
+    dominance = dominates_incomplete if incomplete else None
+    if state is None:
+        stream = SkylineStream(dims, distinct=distinct,
+                               dominance=dominance)
+    else:
+        stream = SkylineStream.restore(dims, state, dominance=dominance)
+    for rows in morsels:
+        stream.add_all(rows)
+    return stream.checkpoint(), stream.window_peak, stream.comparisons
+
+
+def _fold_sfs_rows_task(window, morsels, dims, distinct, kernel):
+    """Row-plane SFS fold: re-sort window + morsels (the SFS kernel is
+    exact, so this is the fold identity again; sorted output order
+    matches the staged SFS local stage)."""
+    rows = list(window) if window is not None else []
+    for morsel in morsels:
+        rows.extend(morsel)
+    return kernel(rows, dims, distinct, check_deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Spill manager (out-of-core morsel buffers)
+# ---------------------------------------------------------------------------
+
+
+class SpillManager:
+    """Disk backing for morsels that exceed an operator's budget.
+
+    Spilled payloads are pickled to a private temp directory and
+    deleted as soon as they are re-loaded; :meth:`close` removes any
+    stragglers (e.g. after a query timeout mid-pipeline).
+    """
+
+    def __init__(self) -> None:
+        self._dir: str | None = None
+        self._seq = 0
+        self.spilled_bytes = 0
+        self.spill_count = 0
+
+    def spill(self, payload) -> tuple[str, int]:
+        if self._dir is None:
+            self._dir = tempfile.mkdtemp(prefix="repro-pipeline-spill-")
+        path = os.path.join(self._dir, f"morsel-{self._seq}.pkl")
+        self._seq += 1
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        self.spilled_bytes += len(blob)
+        self.spill_count += 1
+        return path, len(blob)
+
+    def load(self, path: str):
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        os.unlink(path)
+        return payload
+
+    def close(self) -> None:
+        if self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+            self._dir = None
+
+
+# ---------------------------------------------------------------------------
+# Operator state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Morsel:
+    """One queued morsel: in memory (``payload``) or spilled (``path``)."""
+
+    key: object
+    payload: object
+    nbytes: int
+    path: str | None = None
+
+
+@dataclass
+class _Operator:
+    """Input queue + metrics of one pipeline operator."""
+
+    name: str
+    budget: int
+    queue: deque = field(default_factory=deque)
+    bytes_mem: int = 0
+    bytes_total: int = 0
+    peak_bytes: int = 0
+    batches_in: int = 0
+    batches_out: int = 0
+    stall_s: float = 0.0
+    spilled_bytes: int = 0
+
+    def enqueue(self, key, payload, nbytes: int,
+                spiller: SpillManager) -> None:
+        """Queue one morsel, spilling it when over budget.
+
+        At least one morsel always stays in memory so the consumer can
+        make progress without touching disk on an otherwise-idle
+        queue.
+        """
+        self.batches_in += 1
+        if self.queue and self.bytes_mem + nbytes > self.budget:
+            path, _ = spiller.spill(payload)
+            self.spilled_bytes += nbytes
+            self.queue.append(_Morsel(key, None, nbytes, path=path))
+        else:
+            self.queue.append(_Morsel(key, payload, nbytes))
+            self.bytes_mem += nbytes
+        self.bytes_total += nbytes
+        self.note_peak()
+
+    def dequeue(self, spiller: SpillManager):
+        """Pop the oldest morsel, re-loading it if it was spilled."""
+        morsel = self.queue.popleft()
+        if morsel.path is not None:
+            morsel.payload = spiller.load(morsel.path)
+            morsel.path = None
+        else:
+            self.bytes_mem -= morsel.nbytes
+        self.bytes_total -= morsel.nbytes
+        return morsel
+
+    def note_peak(self, extra: int = 0) -> None:
+        if self.bytes_mem + extra > self.peak_bytes:
+            self.peak_bytes = self.bytes_mem + extra
+
+    def over_budget(self) -> bool:
+        return self.bytes_total > self.budget
+
+    def report(self) -> dict:
+        return {
+            "batches_in": self.batches_in,
+            "batches_out": self.batches_out,
+            "stall_s": round(self.stall_s, 6),
+            "spilled_bytes": self.spilled_bytes,
+            "peak_bytes": self.peak_bytes,
+        }
+
+
+def _payload_nbytes(payload) -> int:
+    """Byte size of a morsel payload for budget accounting."""
+    if isinstance(payload, ColumnBatch):
+        return payload.nbytes
+    width = len(payload[0]) if payload else 1
+    return 64 + len(payload) * max(1, width) * _ROW_VALUE_BYTES
+
+
+def _probe_picklable(*objects) -> bool:
+    """Whether task arguments can ship to a process worker."""
+    try:
+        pickle.dumps(objects, protocol=pickle.HIGHEST_PROTOCOL)
+        return True
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The pipelined driver
+# ---------------------------------------------------------------------------
+
+
+class _PipelineDriver:
+    """Wave-scheduling driver for one local skyline chain.
+
+    Walks scan -> filter/project -> fold work through per-operator
+    queues; each wave packs runnable tasks (folds first, then maps,
+    then scans, newest operators starved by backpressure) into one
+    ``ctx.run_stage`` call so the backend pool stays saturated while
+    every fault-tolerance feature of the staged path still applies.
+    """
+
+    def __init__(self, local, ctx: "ExecutionContext") -> None:
+        from ..plan import physical as P
+        self._P = P
+        self.local = local
+        self.ctx = ctx
+        budget_mb = local.operator_memory_mb \
+            if local.operator_memory_mb is not None \
+            else DEFAULT_OPERATOR_MEMORY_MB
+        self.budget = max(1, int(budget_mb * 1e6))
+        self.workers = getattr(ctx.backend, "num_workers", None) or 1
+        self.wave_cap = max(2 * self.workers, 4)
+        self.spiller = SpillManager()
+        self.algorithm = {
+            "SkylineLocalExec": "bnl",
+            "SkylineLocalSFSExec": "sfs",
+            "SkylineLocalIncompleteExec": "incomplete",
+        }[type(local).__name__]
+        self.waves = 0
+        # Fold state per key (partition index, or null bitmap for the
+        # incomplete algorithm): checkpoint dict on the row plane,
+        # ColumnBatch window on the batch plane.  ``fold_started``
+        # distinguishes "no fold ran yet" from an empty window.
+        self.fold_state: dict = {}
+        self.fold_started: set = set()
+        self.fold_inflight: set = set()
+        self.key_order: list = []
+        self.scan = _Operator("scan", self.budget)
+        self.map = _Operator("map", self.budget)
+        self.fold = _Operator("fold", self.budget)
+
+    # -- chain analysis ---------------------------------------------------
+
+    def analyse_chain(self):
+        """The (transforms, scan) of a supported chain, else ``None``.
+
+        Supported: ``Scan`` optionally below any stack of
+        ``Filter``/``Project`` nodes.  Anything else (repartitions,
+        joins, ...) executes the child staged and pipelines only the
+        fold -- recorded as ``source="staged-child"``.
+        """
+        P = self._P
+        specs = []
+        node = self.local.children[0]
+        while True:
+            if isinstance(node, P.ScanExec):
+                return tuple(reversed(specs)), node
+            if isinstance(node, P.FilterExec):
+                specs.append(("filter", node.condition))
+            elif isinstance(node, P.ProjectExec):
+                specs.append(("project", tuple(node.projections)))
+            else:
+                return None
+            node = node.children[0]
+
+    # -- morsel generation ------------------------------------------------
+
+    @staticmethod
+    def split_morsels(rows: list, num_partitions: int
+                      ) -> list[tuple[int, list]]:
+        """(partition, slice) morsels replicating ``RDD.from_rows``.
+
+        The partition split must be byte-identical to the staged scan's
+        so per-partition fold results equal the staged local stage.
+        """
+        partitions = RDD.from_rows(rows, num_partitions).partitions
+        morsels = []
+        for p, partition in enumerate(partitions):
+            if not partition:
+                morsels.append((p, []))
+                continue
+            for start in range(0, len(partition), PIPELINE_MORSEL_ROWS):
+                morsels.append(
+                    (p, partition[start:start + PIPELINE_MORSEL_ROWS]))
+        return morsels
+
+    # -- wave execution ---------------------------------------------------
+
+    def run_wave(self, tasks: list[StageTask], routes: list) -> list:
+        stage = f"Pipeline.wave{self.waves}"
+        self.waves += 1
+        started = time.perf_counter()
+        results = self.ctx.run_stage(stage, tasks)
+        duration = time.perf_counter() - started
+        return list(zip(routes, results)), duration
+
+    def route_fold_result(self, key, result, batch_plane: bool) -> None:
+        self.fold_inflight.discard(key)
+        self.fold_state[key] = result
+        self.fold_started.add(key)
+        extra = result.nbytes if isinstance(result, ColumnBatch) else 0
+        self.fold.note_peak(extra)
+        self.fold.batches_out += 1
+        self.ctx.note_first_batch()
+
+    # -- fold task construction ------------------------------------------
+
+    def take_fold_morsels(self, key) -> tuple[list, int, int]:
+        """Remove ``key``'s queued morsels (up to a budget's worth, at
+        least one) from the fold queue, loading any spilled ones."""
+        morsels, rows_in, bytes_in = [], 0, 0
+        kept = deque()
+        deferred = False
+        while self.fold.queue:
+            morsel = self.fold.queue.popleft()
+            if morsel.key != key or deferred:
+                kept.append(morsel)
+                continue
+            if morsels and bytes_in + morsel.nbytes > self.budget:
+                # Over a budget's worth: defer the rest of this key --
+                # and everything behind it, folds consume in arrival
+                # order.
+                deferred = True
+                kept.append(morsel)
+                continue
+            if morsel.path is not None:
+                morsel.payload = self.spiller.load(morsel.path)
+                morsel.path = None
+            else:
+                self.fold.bytes_mem -= morsel.nbytes
+            self.fold.bytes_total -= morsel.nbytes
+            morsels.append(morsel.payload)
+            bytes_in += morsel.nbytes
+            rows_in += len(morsel.payload) \
+                if not isinstance(morsel.payload, ColumnBatch) \
+                else morsel.payload.num_rows
+        self.fold.queue = kept
+        return morsels, rows_in, bytes_in
+
+    def make_fold_task(self, key, seq: int) -> StageTask:
+        """One fold task folding ``key``'s queued morsels into its
+        window; folds for one key serialize, so the window state
+        transfer is race-free."""
+        morsels, rows_in, bytes_in = self.take_fold_morsels(key)
+        window = self.fold_state.get(key)
+        if self.batch_plane:
+            kernel = self.local._batch_kernel()
+            if self.algorithm == "incomplete":
+                func = _fold_batch_incomplete_task
+                args = (window, morsels, self.local.dims, kernel)
+            else:
+                func = _fold_batch_task
+                args = (window, morsels, self.local.dims,
+                        self.local.distinct, kernel)
+        elif self.algorithm == "sfs":
+            func = _fold_sfs_rows_task
+            args = (window, morsels, self.local.dims,
+                    self.local.distinct, self.local.kernels.local_sfs)
+        else:
+            func = _fold_stream_task
+            args = (window, morsels, self.local.dims,
+                    self.local.distinct, self.algorithm == "incomplete")
+        self.fold_inflight.add(key)
+        return StageTask(
+            partition=seq, rows_in=rows_in, bytes_in=bytes_in,
+            fn=functools.partial(func, *args), func=func, args=args,
+            kernel=self.local.kernels.name)
+
+    # -- main loop --------------------------------------------------------
+
+    def execute(self) -> "RDD | BatchRDD":
+        ctx = self.ctx
+        local = self.local
+        chain = self.analyse_chain()
+        source = "pipeline" if chain is not None else "staged-child"
+        incomplete = self.algorithm == "incomplete"
+
+        if chain is not None:
+            specs, scan_exec = chain
+            self.batch_plane = bool(scan_exec.columnar) and \
+                local._batch_kernel() is not None
+            width = len(scan_exec.output)
+            pending_scans = deque(self.split_morsels(
+                scan_exec.rows, ctx.config.default_parallelism))
+            maps_picklable = _probe_picklable(specs) if specs else True
+        else:
+            # Unsupported chain shape: produce the morsel stream from
+            # the staged child's partitions; scan + maps are done.
+            child_out = local.children[0].execute(ctx)
+            batches = local._batch_input(child_out)
+            self.batch_plane = batches is not None
+            specs, pending_scans, maps_picklable = (), deque(), True
+            if self.batch_plane:
+                for p, batch in enumerate(batches.batches):
+                    for start in range(0, max(batch.num_rows, 1),
+                                       PIPELINE_MORSEL_ROWS):
+                        indices = list(range(
+                            start, min(start + PIPELINE_MORSEL_ROWS,
+                                       batch.num_rows)))
+                        self.ingest(p, batch.take(indices), incomplete)
+            else:
+                from ..plan.physical import _rows_rdd
+                for p, rows in enumerate(_rows_rdd(child_out).partitions):
+                    for _, morsel in self.split_morsels(rows, 1):
+                        self.ingest(p, morsel, incomplete)
+            if not self.key_order:
+                # Zero partitions still need one (empty) fold key so the
+                # output shape matches the staged path.
+                self.touch_key(0)
+
+        if chain is not None:
+            # Every partition folds at least once (empty partitions
+            # produce the same empty partial the staged stage does).
+            for p in range(ctx.config.default_parallelism):
+                if not incomplete:
+                    self.touch_key(p)
+
+        routed_rows = 0
+        while True:
+            tasks: list[StageTask] = []
+            routes: list[tuple] = []
+            seq = 0
+
+            # 1. Folds first: they release queue memory and advance
+            #    time-to-first-batch.  (Keys with no morsels are never
+            #    folded -- ``assemble`` emits the staged-identical
+            #    empty partial for them.)
+            for key in list(self.key_order):
+                if key in self.fold_inflight:
+                    continue
+                if any(m.key == key for m in self.fold.queue):
+                    task = self.make_fold_task(key, seq)
+                    tasks.append(task)
+                    routes.append(("fold", key))
+                    seq += 1
+
+            # 2. Maps: blocked while the fold queue is over budget.
+            map_blocked = self.fold.over_budget()
+            while self.map.queue and not map_blocked and \
+                    len(tasks) < self.wave_cap:
+                morsel = self.map.dequeue(self.spiller)
+                args = (morsel.payload, specs)
+                task = StageTask(
+                    partition=seq, rows_in=len(morsel.payload)
+                    if not isinstance(morsel.payload, ColumnBatch)
+                    else morsel.payload.num_rows,
+                    bytes_in=morsel.nbytes,
+                    fn=functools.partial(
+                        _map_batch_task if self.batch_plane
+                        else _map_rows_task, *args),
+                    func=(_map_batch_task if self.batch_plane
+                          else _map_rows_task) if maps_picklable
+                    else None,
+                    args=args if maps_picklable else (),
+                    kernel=self.local.kernels.name)
+                tasks.append(task)
+                routes.append(("map", morsel.key))
+                seq += 1
+
+            # 3. Scans: backpressured by the downstream queue (the map
+            #    input queue, or the fold queue when there are no
+            #    maps).
+            downstream = self.map if specs else self.fold
+            scan_blocked = downstream.over_budget()
+            while pending_scans and not scan_blocked and \
+                    len(tasks) < self.wave_cap:
+                p, rows = pending_scans.popleft()
+                if self.batch_plane:
+                    args = (rows, width)
+                    func = _columnize_task
+                else:
+                    args = (rows,)
+                    func = _scan_rows_task
+                task = StageTask(
+                    partition=seq, rows_in=len(rows),
+                    fn=functools.partial(func, *args),
+                    func=func, args=args,
+                    kernel=self.local.kernels.name)
+                tasks.append(task)
+                routes.append(("scan", p))
+                seq += 1
+
+            if not tasks:
+                break
+
+            outcomes, duration = self.run_wave(tasks, routes)
+
+            # Stall accounting: pending work, nothing scheduled, and
+            # the reason was a budget gate.
+            if pending_scans and scan_blocked and \
+                    not any(r[0] == "scan" for r in routes):
+                self.scan.stall_s += duration
+            if self.map.queue and map_blocked and \
+                    not any(r[0] == "map" for r in routes):
+                self.map.stall_s += duration
+
+            for (kind, key), result in outcomes:
+                if kind == "fold":
+                    self.route_fold_result(key, result, self.batch_plane)
+                elif kind == "map":
+                    self.map.batches_out += 1
+                    routed_rows += self.ingest(key, result, incomplete)
+                else:
+                    self.scan.batches_out += 1
+                    if specs:
+                        self.map.enqueue(key, result,
+                                         _payload_nbytes(result),
+                                         self.spiller)
+                    else:
+                        routed_rows += self.ingest(key, result,
+                                                   incomplete)
+
+        if incomplete and routed_rows:
+            ctx.record_shuffle(local.stage_name(), routed_rows)
+
+        result = self.assemble()
+        for op in (self.scan, self.map, self.fold):
+            if op.peak_bytes:
+                ctx.record_memory(
+                    f"Pipeline.{local.stage_name()}.{op.name}",
+                    op.peak_bytes)
+        ctx.pipeline = {
+            "mode": "pipelined",
+            "stage": local.stage_name(),
+            "algorithm": self.algorithm,
+            "plane": "batch" if self.batch_plane else "row",
+            "source": source,
+            "morsel_rows": PIPELINE_MORSEL_ROWS,
+            "budget_bytes": self.budget,
+            "waves": self.waves,
+            "spilled_bytes": self.spiller.spilled_bytes,
+            "spill_count": self.spiller.spill_count,
+            "operators": {
+                "scan": self.scan.report(),
+                "map": self.map.report(),
+                "fold": self.fold.report(),
+            },
+        }
+        self.spiller.close()
+        return result
+
+    # -- routing ----------------------------------------------------------
+
+    def touch_key(self, key) -> None:
+        if key not in self.fold_state:
+            self.fold_state[key] = None
+            self.key_order.append(key)
+
+    def ingest(self, partition, payload, incomplete: bool) -> int:
+        """Route one mapped morsel onto the fold queue.
+
+        Complete/SFS fold per scan partition; the incomplete algorithm
+        re-keys rows by null bitmap (the Section 5.7 distribution),
+        preserving first-seen bitmap order exactly like the staged
+        ``partition_by_key`` because morsels arrive in original row
+        order.
+        """
+        if not incomplete:
+            self.touch_key(partition)
+            nbytes = _payload_nbytes(payload)
+            if (payload if not isinstance(payload, ColumnBatch)
+                    else payload.num_rows):
+                self.fold.enqueue(partition, payload, nbytes,
+                                  self.spiller)
+            return len(payload) \
+                if not isinstance(payload, ColumnBatch) \
+                else payload.num_rows
+        dims = self.local.dims
+        if isinstance(payload, ColumnBatch):
+            from ..core.vectorized import batch_null_bitmaps
+            bitmaps = batch_null_bitmaps(payload, dims)
+            groups: dict[int, list[int]] = {}
+            for i, bitmap in enumerate(bitmaps):
+                groups.setdefault(bitmap, []).append(i)
+            for bitmap, indices in groups.items():
+                self.touch_key(("bitmap", bitmap))
+                piece = payload.take(indices)
+                self.fold.enqueue(("bitmap", bitmap), piece,
+                                  piece.nbytes, self.spiller)
+            return payload.num_rows
+        groups_rows: dict[int, list] = {}
+        for row in payload:
+            groups_rows.setdefault(null_bitmap(row, dims), []).append(row)
+        for bitmap, rows in groups_rows.items():
+            self.touch_key(("bitmap", bitmap))
+            self.fold.enqueue(("bitmap", bitmap), rows,
+                              _payload_nbytes(rows), self.spiller)
+        return len(payload)
+
+    # -- output assembly --------------------------------------------------
+
+    def assemble(self) -> "RDD | BatchRDD":
+        """The drained fold windows as the local stage's output RDD.
+
+        Key order matches the staged stage: partition index order for
+        complete/SFS, first-seen bitmap order for incomplete.
+        """
+        if self.algorithm == "incomplete":
+            keys = self.key_order
+            if not keys:
+                keys = []
+        else:
+            keys = sorted(self.key_order)
+        partials = []
+        for key in keys:
+            state = self.fold_state.get(key)
+            if self.batch_plane:
+                partials.append(state if state is not None
+                                else ColumnBatch.from_rows(
+                                    [], len(self.local.output)))
+            elif state is None:
+                partials.append([])
+            elif isinstance(state, dict):
+                partials.append([tuple(r) for r in state["window"]])
+            else:
+                # SFS row plane keeps the sorted survivor list directly.
+                partials.append([tuple(r) for r in state])
+        if self.batch_plane:
+            if not partials:
+                partials = [ColumnBatch.from_rows(
+                    [], len(self.local.output))]
+            return BatchRDD(partials)
+        if not partials:
+            partials = [[]]
+        return RDD(partials)
+
+
+def run_pipelined_local(local, ctx: "ExecutionContext"
+                        ) -> "RDD | BatchRDD | None":
+    """Execute one stamped local skyline chain with the morsel driver.
+
+    Returns the local stage's output (consumed by the unchanged staged
+    global phase) or ``None`` to signal the caller to run staged.
+    """
+    driver = _PipelineDriver(local, ctx)
+    try:
+        return driver.execute()
+    finally:
+        driver.spiller.close()

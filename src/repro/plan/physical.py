@@ -111,6 +111,18 @@ class PhysicalPlan:
     #: EXPLAIN/execution; purely informational.
     transport: "str | None" = None
 
+    #: Physical execution mode of the local skyline chain this operator
+    #: belongs to: ``"pipelined"`` (morsel-driven overlap, stamped down
+    #: the scan -> local chain by the planner), ``"staged"`` (only
+    #: stamped when the session *forces* staged execution), or ``None``
+    #: (the unmarked staged default).
+    execution: "str | None" = None
+
+    #: Per-operator memory budget (MB) for the pipelined executor;
+    #: stamped onto the local skyline exec by the planner.  ``None``
+    #: means the executor's built-in default.
+    operator_memory_mb: "float | None" = None
+
     def __init__(self) -> None:
         self.node_id = next(_node_ids)
 
@@ -135,6 +147,8 @@ class PhysicalPlan:
         tag = f" [{self.exec_mode}]"
         if self.transport is not None and self.exec_mode == "batch":
             tag += f" [{self.transport}]"
+        if self.execution is not None:
+            tag += f" [{self.execution}]"
         return tag
 
     def stage_name(self, suffix: str = "") -> str:
@@ -217,6 +231,7 @@ class ScanExec(PhysicalPlan):
             cached = self._batch_cache
             if cached is not None and cached[0] == key:
                 tasks = [StageTask(partition=i, rows_in=batch.num_rows,
+                                   bytes_in=batch.nbytes,
                                    fn=lambda batch=batch: batch)
                          for i, batch in enumerate(cached[1])]
                 return BatchRDD(ctx.run_stage(self.stage_name(), tasks))
@@ -277,6 +292,7 @@ class FilterExec(PhysicalPlan):
             condition = self.condition
             tasks = [StageTask(
                 partition=i, rows_in=batch.num_rows,
+                bytes_in=batch.nbytes,
                 fn=lambda batch=batch: _filter_batch(batch, condition))
                 for i, batch in enumerate(child_out.batches)]
             return BatchRDD(ctx.run_stage(self.stage_name(), tasks))
@@ -318,6 +334,7 @@ class ProjectExec(PhysicalPlan):
             projections = self.projections
             tasks = [StageTask(
                 partition=i, rows_in=batch.num_rows,
+                bytes_in=batch.nbytes,
                 fn=lambda batch=batch: ColumnBatch(
                     [p.eval_batch(batch) for p in projections],
                     num_rows=batch.num_rows))
@@ -963,6 +980,7 @@ class _SkylineExec(PhysicalPlan):
             args = (batch, self.dims, self.distinct)
             tasks.append(StageTask(
                 partition=i, rows_in=batch.num_rows,
+                bytes_in=batch.nbytes,
                 fn=functools.partial(func, *args,
                                      check_deadline=ctx.check_deadline),
                 func=func, args=args, kernel=self.kernels.name))
@@ -972,6 +990,20 @@ class _SkylineExec(PhysicalPlan):
         if self.kernels.name == "vectorized":
             return f"vectorized {algorithm}"
         return algorithm
+
+    def _pipelined_local(self, ctx: ExecutionContext
+                         ) -> "RDD | BatchRDD | None":
+        """The morsel-driven execution of this local operator's chain.
+
+        Returns ``None`` when the operator is not stamped for pipelined
+        execution or the chain has a shape the pipelined executor does
+        not support (recorded in ``ctx.pipeline``), in which case the
+        caller proceeds with the staged path.
+        """
+        if self.execution != "pipelined":
+            return None
+        from ..engine.pipeline import run_pipelined_local
+        return run_pipelined_local(self, ctx)
 
     # -- hierarchical global merge (tournament tree) ---------------------
 
@@ -1298,6 +1330,9 @@ class SkylineLocalExec(_SkylineExec):
     batch_kernel_attr = "local_bnl_batch"
 
     def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        pipelined = self._pipelined_local(ctx)
+        if pipelined is not None:
+            return pipelined
         child_out = self._resident_child(ctx)
         batches = self._batch_input(child_out)
         if batches is not None:
@@ -1379,6 +1414,9 @@ class SkylineLocalIncompleteExec(_SkylineExec):
         return [merged.take(indices) for indices in groups.values()]
 
     def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        pipelined = self._pipelined_local(ctx)
+        if pipelined is not None:
+            return pipelined
         child_out = self._resident_child(ctx)
         stage = self.stage_name()
         dims = self.dims
@@ -1391,6 +1429,7 @@ class SkylineLocalIncompleteExec(_SkylineExec):
                 args = (batch, dims)
                 tasks.append(StageTask(
                     partition=i, rows_in=batch.num_rows,
+                    bytes_in=batch.nbytes,
                     fn=functools.partial(
                         func, *args, check_deadline=ctx.check_deadline),
                     func=func, args=args, kernel=self.kernels.name))
@@ -1454,6 +1493,9 @@ class SkylineLocalSFSExec(_SkylineExec):
     batch_kernel_attr = "local_sfs_batch"
 
     def execute(self, ctx: ExecutionContext) -> "RDD | BatchRDD":
+        pipelined = self._pipelined_local(ctx)
+        if pipelined is not None:
+            return pipelined
         child_out = self._resident_child(ctx)
         batches = self._batch_input(child_out)
         if batches is not None:

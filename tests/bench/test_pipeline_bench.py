@@ -1,0 +1,80 @@
+"""Pipelined executor ablation bench (`repro.bench --pipeline`)."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.pipeline import measure_pipeline, render_pipeline_report
+from repro.bench.smoke import main
+
+SMALL = dict(num_rows=6000, num_executors=4, num_workers=2, repeats=1)
+
+
+class TestMeasurePipeline:
+    def test_report_shape_and_invariants(self):
+        report = measure_pipeline(**SMALL)
+        encoded = json.loads(json.dumps(report))
+        assert encoded["kind"] == "pipeline"
+        overlap = encoded["overlap"]
+        assert overlap["bit_identical"] is True
+        assert overlap["staged_s"] > 0 and overlap["pipelined_s"] > 0
+        assert overlap["speedup"] > 0
+        assert overlap["ttfb_speedup"] > 0
+        assert overlap["skyline_rows"] > 0
+        assert overlap["waves"] >= 1
+        ooc = encoded["out_of_core"]
+        assert ooc["bit_identical"] is True
+        assert ooc["ratio"] >= 4.0
+        assert ooc["spilled_bytes"] > 0  # the gate must not be vacuous
+        assert ooc["fold_peak_bytes"] is not None
+
+    def test_render_report(self):
+        report = measure_pipeline(**SMALL)
+        text = render_pipeline_report(report)
+        assert "pipelined executor ablation" in text
+        assert "staged" in text and "pipelined" in text
+        assert "out-of-core" in text
+        assert "bit-identical: True" in text
+
+
+class TestTimeToFirstBatch:
+    def test_smoke_records_ttfb(self):
+        """Satellite: `repro.bench --smoke` reports time-to-first-batch
+        for every backend run."""
+        from repro.bench.smoke import run_smoke
+        report = run_smoke(num_rows=120, num_executors=2)
+        assert report["runs"]
+        for run in report["runs"]:
+            ttfb = run["time_to_first_batch_s"]
+            assert ttfb is not None
+            assert not math.isnan(ttfb)
+            assert 0.0 <= ttfb <= run["wall_time_s"] + 1.0
+
+
+class TestCli:
+    def test_pipeline_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        status = main(["--pipeline", "--rows", "6000"])
+        assert status == 0
+        report = json.loads((tmp_path / "BENCH_pipeline.json").read_text())
+        assert report["overlap"]["bit_identical"] is True
+        assert report["out_of_core"]["spilled_bytes"] > 0
+        assert "pipelined executor ablation" in capsys.readouterr().out
+
+    def test_overlap_gate_fails_when_unmet(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.chdir(tmp_path)
+        status = main(["--pipeline", "--rows", "6000",
+                       "--min-pipeline-speedup", "1000000",
+                       "--min-ttfb-speedup", "1000000"])
+        assert status == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_rss_gate_fails_when_unmet(self, tmp_path, monkeypatch,
+                                       capsys):
+        monkeypatch.chdir(tmp_path)
+        status = main(["--pipeline", "--rows", "6000",
+                       "--max-pipeline-rss-mb", "0.001"])
+        assert status == 1
+        assert "RSS" in capsys.readouterr().err

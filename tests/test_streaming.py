@@ -172,12 +172,57 @@ class TestNullBuffering:
         assert sorted(restored.current(), key=repr) == \
             sorted(expected, key=repr)
 
-    def test_restored_stream_without_allow_nulls_rejects_new_nulls(self):
+    def test_restore_preserves_null_mask_window_state(self):
+        """Regression: a round trip used to silently restore with
+        ``allow_nulls=False``, so a stream whose checkpoint carried a
+        null buffer rejected the very rows it had been accepting."""
+        stream = SkylineStream(MIN2, allow_nulls=True)
+        stream.add_all([(2, 2), (None, 0)])
+        restored = SkylineStream.restore(MIN2, stream.checkpoint())
+        assert restored.allow_nulls is True
+        restored.add((None, 1))  # must buffer, not raise
+        expected = skyline_oracle([(2, 2), (None, 0), (None, 1)], MIN2,
+                                  complete=False)
+        assert sorted(restored.current(), key=repr) == \
+            sorted(expected, key=repr)
+
+    def test_restore_preserves_distinct_mode(self):
+        stream = SkylineStream(MIN2, distinct=True)
+        stream.add((1, 1))
+        restored = SkylineStream.restore(MIN2, stream.checkpoint())
+        assert restored.distinct is True
+        restored.add((1, 1))
+        assert restored.current() == [(1, 1)]
+
+    def test_restore_explicit_override_beats_checkpoint_flags(self):
         stream = SkylineStream(MIN2, allow_nulls=True)
         stream.add((2, 2))
-        restored = SkylineStream.restore(MIN2, stream.checkpoint())
+        restored = SkylineStream.restore(MIN2, stream.checkpoint(),
+                                         allow_nulls=False)
         with pytest.raises(ExecutionError, match="allow_nulls"):
             restored.add((None, 1))
+
+    def test_restore_version1_state_defaults_to_strict(self):
+        """Old checkpoints (no mode flags) restore with the historical
+        constructor defaults."""
+        state = {"window": [(2, 2)], "null_buffer": [],
+                 "rows_seen": 1, "rows_dropped": 0}
+        restored = SkylineStream.restore(MIN2, state)
+        assert restored.allow_nulls is False and \
+            restored.distinct is False
+        with pytest.raises(ExecutionError, match="allow_nulls"):
+            restored.add((None, 1))
+
+    def test_incomplete_dominance_streams_nulls_through_window(self):
+        """The pipelined incomplete fold path: an explicit restricted
+        dominance test lets null rows flow through the window (no
+        buffering) -- sound within one null-bitmap partition."""
+        from repro.core.dominance import dominates_incomplete
+        stream = SkylineStream(MIN2, dominance=dominates_incomplete)
+        stream.add_all([(None, 2), (None, 1), (None, 3)])
+        assert stream.window_size == 1
+        assert stream.current() == [(None, 1)]
+        assert stream.comparisons > 0
 
 
 class TestStreamMatchesBatchEngine:
